@@ -1,0 +1,1 @@
+bench/bench_ablation.ml: Common Core List Printf Rofs_workload

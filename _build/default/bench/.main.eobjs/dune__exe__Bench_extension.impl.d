@@ -1,0 +1,1 @@
+bench/bench_extension.ml: Common Core List Printf

@@ -1,0 +1,1 @@
+bench/bench_extent_sweep.ml: Common Core Lazy List

@@ -1,0 +1,1 @@
+bench/bench_fig1.ml: Common Core List Printf

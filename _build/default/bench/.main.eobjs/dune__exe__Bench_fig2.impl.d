@@ -1,0 +1,1 @@
+bench/bench_fig2.ml: Bench_fig1 Common Core List Printf

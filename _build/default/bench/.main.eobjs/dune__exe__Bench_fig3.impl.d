@@ -1,0 +1,1 @@
+bench/bench_fig3.ml: Common Core List Printf

@@ -1,0 +1,1 @@
+bench/bench_fig5.ml: Bench_extent_sweep Common Core List Printf

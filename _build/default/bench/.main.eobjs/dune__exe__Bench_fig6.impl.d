@@ -1,0 +1,1 @@
+bench/bench_fig6.ml: Common Core List

@@ -1,0 +1,1 @@
+bench/bench_micro.ml: Analyze Bechamel Benchmark Common Core Float Hashtbl Instance List Measure Printf Staged Test Time Toolkit

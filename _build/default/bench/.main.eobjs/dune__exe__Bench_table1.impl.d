@@ -1,0 +1,1 @@
+bench/bench_table1.ml: Common Core Printf

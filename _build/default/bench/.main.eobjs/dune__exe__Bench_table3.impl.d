@@ -1,0 +1,1 @@
+bench/bench_table3.ml: Common Core List Printf

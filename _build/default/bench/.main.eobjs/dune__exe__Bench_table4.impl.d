@@ -1,0 +1,1 @@
+bench/bench_table4.ml: Bench_extent_sweep Common Core List Printf

@@ -1,0 +1,1 @@
+bench/common.ml: Char Core Filename List Printf String Unix

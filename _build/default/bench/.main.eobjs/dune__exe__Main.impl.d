@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_ablation Bench_extension Bench_fig1 Bench_fig2 Bench_fig3 Bench_fig4 Bench_fig5 Bench_fig6 Bench_micro Bench_table1 Bench_table3 Bench_table4 Common List Printf Sys

@@ -1,0 +1,51 @@
+(* Shared sweep for the extent-based policy: first-fit and best-fit,
+   one to five extent-size ranges, three workloads.  Figure 4 reads the
+   fragmentation columns, Figure 5 the throughput columns and Table 4
+   the extents-per-file column; the expensive throughput runs are
+   memoized so "run all benches" pays for them once. *)
+
+module C = Core
+
+type row = {
+  workload : string;
+  fit : C.Extent_alloc.fit;
+  nranges : int;
+  internal : float;
+  external_ : float;
+  app_pct : float;
+  seq_pct : float;
+  extents_per_file : float;
+}
+
+let fits = [ C.Extent_alloc.First_fit; C.Extent_alloc.Best_fit ]
+let range_counts = [ 1; 2; 3; 4; 5 ]
+
+let fit_name = function C.Extent_alloc.First_fit -> "first-fit" | C.Extent_alloc.Best_fit -> "best-fit"
+
+let compute () =
+  List.concat_map
+    (fun workload ->
+      List.concat_map
+        (fun fit ->
+          List.map
+            (fun nranges ->
+              let spec = Common.extent_spec ~fit workload nranges in
+              let alloc = Common.run_alloc spec workload in
+              let app, seq = Common.run_pair spec workload in
+              {
+                workload = workload.C.Workload.name;
+                fit;
+                nranges;
+                internal = alloc.C.Engine.internal_frag;
+                external_ = alloc.C.Engine.external_frag;
+                app_pct = app.C.Engine.pct_of_max;
+                seq_pct = seq.C.Engine.pct_of_max;
+                extents_per_file = app.C.Engine.mean_extents_per_file;
+              })
+            range_counts)
+        fits)
+    [ C.Workload.sc; C.Workload.tp; C.Workload.ts ]
+
+let results = lazy (Common.timed "extent sweep" compute)
+
+let rows_for workload = List.filter (fun r -> r.workload = workload) (Lazy.force results)

@@ -1,0 +1,37 @@
+(* Figure 2 (a-f): application and sequential performance for the
+   restricted buddy policy, over the same 16-configuration sweep as
+   Figure 1, for each workload.
+
+   Paper claims to check: larger block sizes help the large-file
+   workloads (SC up to ~25%, TP ~20% spread); SC/TP are not very
+   sensitive to grow policy or clustering; TS is — clustering helps it
+   (up to ~20% sequentially). *)
+
+module C = Core
+
+let run_workload workload =
+  let t = C.Table.create ~header:[ "configuration"; "application"; "sequential" ] in
+  List.iter
+    (fun (label, nsizes, grow, clustered) ->
+      let spec = Common.rbuddy_spec ~grow ~clustered nsizes in
+      let app, seq = Common.run_pair spec workload in
+      C.Table.add_row t
+        [
+          label;
+          Common.pct_points app.C.Engine.pct_of_max;
+          Common.pct_points seq.C.Engine.pct_of_max;
+        ])
+    Bench_fig1.configurations;
+  C.Table.print
+    ~title:(Printf.sprintf "Figure 2 — %s workload" workload.C.Workload.name)
+    t
+
+let run () =
+  Common.heading "Figure 2: restricted buddy throughput sweep";
+  List.iter run_workload [ C.Workload.sc; C.Workload.tp; C.Workload.ts ];
+  Common.note
+    [
+      "";
+      "Shape checks: 4/5-size configurations beat 2-size ones on SC and TP;";
+      "TS throughput is low everywhere and most sensitive to clustering.";
+    ]

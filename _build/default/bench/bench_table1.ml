@@ -1,0 +1,28 @@
+(* Table 1: disk drive parameters and simulator default values.  The
+   "actual vs simulated" columns of the paper become "paper vs model":
+   everything is taken from the CDC Wren IV geometry, and the derived
+   figures (capacity, maximum throughput) must come out at the paper's
+   2.8G / 10.8 M/s. *)
+
+module C = Core
+
+let run () =
+  Common.heading "Table 1: disk drive parameters (CDC Wren IV) and derived values";
+  let g = C.Geometry.cdc_wren_iv in
+  let array = C.Array_model.create ~disks:8 (C.Array_model.Striped { stripe_unit = 24 * 1024 }) in
+  let t = C.Table.create ~header:[ "parameter"; "paper"; "model" ] in
+  let add name paper model = C.Table.add_row t [ name; paper; model ] in
+  add "Number of disks" "8" (string_of_int (C.Array_model.disks array));
+  add "Total capacity" "2.8 G (decimal)"
+    (Printf.sprintf "%s (= %.2f decimal G)"
+       (C.Units.to_string (C.Array_model.capacity_bytes array))
+       (float_of_int (C.Array_model.capacity_bytes array) /. 1e9));
+  let bw = C.Array_model.max_bandwidth_bytes_per_ms array in
+  add "Maximum throughput" "10.8 M/sec" (Printf.sprintf "%.2f MB/s" (bw *. 1000. /. 1048576.));
+  add "Number of platters" "9" (string_of_int g.C.Geometry.platters);
+  add "Number of cylinders" "1600" (string_of_int g.C.Geometry.cylinders);
+  add "Bytes per track" "24 K" (C.Units.to_string g.C.Geometry.track_bytes);
+  add "Single track seek" "5.5 ms" (Printf.sprintf "%.1f ms" g.C.Geometry.single_track_seek_ms);
+  add "Seek incremental" "0.0320 ms" (Printf.sprintf "%.4f ms" g.C.Geometry.seek_incremental_ms);
+  add "Single rotation" "16.67 ms" (Printf.sprintf "%.2f ms" g.C.Geometry.rotation_ms);
+  Common.emit t

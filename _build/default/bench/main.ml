@@ -1,0 +1,59 @@
+(* Reproduction bench driver: regenerates every table and figure of the
+   paper's evaluation, plus the Section 6 ablations and library
+   micro-benchmarks.
+
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- fig1 fig2 # a selection
+     dune exec bench/main.exe -- --list
+*)
+
+let benches =
+  [
+    ("table1", "disk parameters and derived maxima", Bench_table1.run);
+    ("table3", "buddy allocation results", Bench_table3.run);
+    ("fig1", "restricted buddy fragmentation sweep", Bench_fig1.run);
+    ("fig2", "restricted buddy throughput sweep", Bench_fig2.run);
+    ("fig3", "grow factor vs contiguity", Bench_fig3.run);
+    ("fig4", "extent-based fragmentation sweep", Bench_fig4.run);
+    ("fig5", "extent-based throughput sweep", Bench_fig5.run);
+    ("table4", "average extents per file", Bench_table4.run);
+    ("fig6", "comparative policy performance", Bench_fig6.run);
+    ("ablation", "stripe-unit and RAID ablations (Section 6)", Bench_ablation.run);
+    ("extension", "log-structured allocation extension (Section 6)", Bench_extension.run);
+    ("micro", "allocator micro-benchmarks (Bechamel)", Bench_micro.run);
+  ]
+
+let list_benches () =
+  print_endline "available benches:";
+  List.iter (fun (id, doc, _) -> Printf.printf "  %-8s %s\n" id doc) benches
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  (* --csv <dir>: also write every table as CSV into <dir> *)
+  let args =
+    let rec strip acc = function
+      | "--csv" :: dir :: rest ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          Common.csv_dir := Some dir;
+          strip acc rest
+      | x :: rest -> strip (x :: acc) rest
+      | [] -> List.rev acc
+    in
+    strip [] args
+  in
+  match args with
+  | [ "--list" ] -> list_benches ()
+  | [] ->
+      List.iter
+        (fun (id, _, run) -> Common.timed id run)
+        benches
+  | ids ->
+      List.iter
+        (fun id ->
+          match List.find_opt (fun (name, _, _) -> name = id) benches with
+          | Some (_, _, run) -> Common.timed id run
+          | None ->
+              Printf.eprintf "unknown bench %S\n" id;
+              list_benches ();
+              exit 2)
+        ids

@@ -1,0 +1,112 @@
+(* Command-line driver: run the paper's fragmentation and throughput
+   tests for one allocation policy on one workload.
+
+     rofs_sim --policy restricted --sizes 5 --grow 1 --workload sc
+     rofs_sim --policy extent --fit best --ranges 3 --workload tp --test alloc
+     rofs_sim --policy fixed --block 16384 --workload sc --test throughput
+*)
+
+module C = Core
+open Cmdliner
+
+type which_test = All | Alloc | Throughput
+
+let build_spec ~policy ~sizes ~grow ~clustered ~fit ~ranges ~block ~workload =
+  match policy with
+  | "buddy" -> C.Experiment.Buddy C.Buddy.default_config
+  | "restricted" ->
+      C.Experiment.Restricted
+        (C.Restricted_buddy.config ~grow_factor:grow ~clustered
+           ~block_sizes_bytes:(C.Restricted_buddy.paper_block_sizes sizes)
+           ())
+  | "extent" ->
+      let fit = if fit = "best" then C.Extent_alloc.Best_fit else C.Extent_alloc.First_fit in
+      C.Experiment.Extent
+        (C.Extent_alloc.config ~fit
+           ~range_means_bytes:(C.Workload.extent_ranges workload ranges)
+           ())
+  | "fixed" -> C.Experiment.Fixed (C.Fixed_block.config ~block_bytes:block ())
+  | "lfs" -> C.Experiment.Log_structured (C.Log_structured.config ())
+  | other -> invalid_arg (Printf.sprintf "unknown policy %S" other)
+
+let run policy sizes grow unclustered fit ranges block workload_name test seed readahead =
+  match C.Workload.by_name workload_name with
+  | None ->
+      Printf.eprintf "unknown workload %S (expected ts, tp or sc)\n" workload_name;
+      exit 2
+  | Some workload ->
+      let spec =
+        build_spec ~policy ~sizes ~grow ~clustered:(not unclustered) ~fit ~ranges ~block
+          ~workload
+      in
+      let config = { C.Engine.default_config with seed; readahead_factor = readahead } in
+      Printf.printf "seed=%d\n%!" seed;
+      let alloc =
+        if test = All || test = Alloc then Some (C.Experiment.run_allocation ~config spec workload)
+        else None
+      in
+      let application, sequential =
+        if test = All || test = Throughput then begin
+          let app, seq = C.Experiment.run_throughput ~config spec workload in
+          (Some app, Some seq)
+        end
+        else (None, None)
+      in
+      print_string
+        (C.Report.summary ~workload:workload.C.Workload.name ~policy ~alloc ~application
+           ~sequential)
+
+let policy_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("buddy", "buddy"); ("restricted", "restricted"); ("extent", "extent");
+             ("fixed", "fixed"); ("lfs", "lfs") ])
+        "restricted"
+    & info [ "p"; "policy" ] ~doc:"Allocation policy: buddy | restricted | extent | fixed | lfs.")
+
+let sizes_arg =
+  Arg.(value & opt int 5 & info [ "sizes" ] ~doc:"Restricted buddy: number of block sizes (2-5).")
+
+let grow_arg =
+  Arg.(value & opt int 1 & info [ "grow" ] ~doc:"Restricted buddy: grow factor (1 or 2).")
+
+let unclustered_arg =
+  Arg.(value & flag & info [ "unclustered" ] ~doc:"Restricted buddy: disable region clustering.")
+
+let fit_arg =
+  Arg.(
+    value
+    & opt (enum [ ("first", "first"); ("best", "best") ]) "first"
+    & info [ "fit" ] ~doc:"Extent policy: first | best fit.")
+
+let ranges_arg =
+  Arg.(value & opt int 3 & info [ "ranges" ] ~doc:"Extent policy: number of extent ranges (1-5).")
+
+let block_arg =
+  Arg.(value & opt int 4096 & info [ "block" ] ~doc:"Fixed policy: block size in bytes.")
+
+let workload_arg =
+  Arg.(value & opt string "ts" & info [ "w"; "workload" ] ~doc:"Workload: ts | tp | sc.")
+
+let test_arg =
+  Arg.(
+    value
+    & opt (enum [ ("all", All); ("alloc", Alloc); ("throughput", Throughput) ]) All
+    & info [ "t"; "test" ] ~doc:"Which test to run: all | alloc | throughput.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
+
+let readahead_arg =
+  Arg.(value & opt int 4 & info [ "readahead" ] ~doc:"Read-ahead factor for sequential scans.")
+
+let cmd =
+  let doc = "simulate read-optimized file system allocation policies (Seltzer & Stonebraker 1991)" in
+  Cmd.v
+    (Cmd.info "rofs_sim" ~version:C.version ~doc)
+    Term.(
+      const run $ policy_arg $ sizes_arg $ grow_arg $ unclustered_arg $ fit_arg $ ranges_arg
+      $ block_arg $ workload_arg $ test_arg $ seed_arg $ readahead_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/diskmap.ml: Array Core List Printf String

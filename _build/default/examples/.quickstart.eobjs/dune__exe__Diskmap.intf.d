@@ -1,0 +1,1 @@
+examples/diskmap.mli:

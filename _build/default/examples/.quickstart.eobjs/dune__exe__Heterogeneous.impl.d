@@ -1,0 +1,1 @@
+examples/heterogeneous.ml: Core List Printf

@@ -1,0 +1,1 @@
+examples/supercomputer.ml: Core List Printf

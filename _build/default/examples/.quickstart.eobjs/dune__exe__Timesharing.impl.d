@@ -1,0 +1,1 @@
+examples/timesharing.ml: Core List Printf

@@ -1,0 +1,44 @@
+(* ASCII occupancy maps: watch how each policy's layout evolves as a
+   small-file system churns.  Each row maps the whole address space into
+   64 cells; denser shading means a fuller region.  Contiguity-seeking
+   policies leave long solid runs, the aged fixed-block free list turns
+   uniformly speckled, and the log-structured policy shows its compact
+   log plus reclaimed (blank) segments. *)
+
+module C = Core
+
+let shade density =
+  if density < 0.05 then ' '
+  else if density < 0.33 then '.'
+  else if density < 0.66 then 'o'
+  else if density < 0.95 then 'O'
+  else '#'
+
+let map_of volume =
+  let cells = C.Volume.occupancy volume ~buckets:64 in
+  String.init (Array.length cells) (fun i -> shade cells.(i))
+
+let () =
+  let policies =
+    [
+      ( "restricted buddy",
+        C.Experiment.Restricted
+          (C.Restricted_buddy.config
+             ~block_sizes_bytes:(C.Restricted_buddy.paper_block_sizes 3)
+             ()) );
+      ( "extent first-fit",
+        C.Experiment.Extent
+          (C.Extent_alloc.config ~range_means_bytes:(C.Workload.extent_ranges C.Workload.ts 3) ())
+      );
+      ("fixed 4K", C.Experiment.Fixed (C.Fixed_block.config ~block_bytes:(4 * 1024) ()));
+      ("log-structured", C.Experiment.Log_structured (C.Log_structured.config ()));
+    ]
+  in
+  Printf.printf "Disk occupancy under TS churn (64 cells, '#'=full, ' '=empty)\n\n";
+  List.iter
+    (fun (name, spec) ->
+      let engine = C.Experiment.make_engine spec C.Workload.ts in
+      Printf.printf "%-18s init  |%s|\n%!" name (map_of (C.Engine.volume engine));
+      C.Engine.fill_to_lower_bound engine;
+      Printf.printf "%-18s @ 90%% |%s|\n\n%!" "" (map_of (C.Engine.volume engine)))
+    policies

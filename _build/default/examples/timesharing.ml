@@ -1,0 +1,67 @@
+(* Time-sharing scenario: compare how the four allocation policies cope
+   with a small-file workload — the paper's TS environment, where an
+   abundance of 8K files is created, read and deleted.
+
+   This example runs the fragmentation (allocation) test for each policy
+   on the TS workload and prints a comparison table, then inspects the
+   physical layout of a few files under the restricted buddy policy. *)
+
+module C = Core
+
+let specs =
+  [
+    ("buddy", C.Experiment.Buddy C.Buddy.default_config);
+    ( "restricted buddy (3 sizes)",
+      C.Experiment.Restricted
+        (C.Restricted_buddy.config
+           ~block_sizes_bytes:(C.Restricted_buddy.paper_block_sizes 3)
+           ()) );
+    ( "extent (first fit, 3 ranges)",
+      C.Experiment.Extent
+        (C.Extent_alloc.config ~range_means_bytes:(C.Workload.extent_ranges C.Workload.ts 3) ())
+    );
+    ("fixed 4K", C.Experiment.Fixed (C.Fixed_block.config ~block_bytes:(4 * 1024) ()));
+    ("log-structured (1M segments)", C.Experiment.Log_structured (C.Log_structured.config ()));
+  ]
+
+let () =
+  let workload = C.Workload.ts in
+  Printf.printf "Fragmentation under the %s workload (%s)\n\n" workload.C.Workload.name
+    workload.C.Workload.description;
+  let table =
+    C.Table.create ~header:[ "policy"; "internal frag"; "external frag"; "ops to full" ]
+  in
+  List.iter
+    (fun (name, spec) ->
+      let r = C.Experiment.run_allocation spec workload in
+      C.Table.add_row table
+        [
+          name;
+          Printf.sprintf "%.1f%%" (100. *. r.C.Engine.internal_frag);
+          Printf.sprintf "%.1f%%" (100. *. r.C.Engine.external_frag);
+          string_of_int r.C.Engine.alloc_ops;
+        ])
+    specs;
+  print_string (C.Table.render table);
+
+  (* Peek at the block layout the restricted buddy produces: grow one
+     file through its block-size progression. *)
+  print_newline ();
+  print_endline "Restricted buddy block-size progression for one growing file:";
+  let policy =
+    C.Restricted_buddy.create
+      (C.Restricted_buddy.config ~block_sizes_bytes:(C.Restricted_buddy.paper_block_sizes 3) ())
+      ~total_units:(64 * 1024)
+  in
+  policy.C.Policy.create_file ~file:0 ~hint:8;
+  List.iter
+    (fun target_kb ->
+      (match policy.C.Policy.ensure ~file:0 ~target:target_kb with
+      | Ok () -> ()
+      | Error `Disk_full -> prerr_endline "disk full");
+      let extents = policy.C.Policy.extents ~file:0 in
+      Printf.printf "  at %4dK: %2d extents, last block %s\n" target_kb (List.length extents)
+        (match List.rev extents with
+        | last :: _ -> C.Units.to_string (last.C.Extent.len * 1024)
+        | [] -> "-"))
+    [ 4; 8; 16; 64; 72; 96; 200 ]

@@ -1,0 +1,59 @@
+(* Trace-driven replay: the paper's closing remark — "applying the
+   allocation policies to genuine workloads will yield a much more
+   convincing argument" — made runnable.
+
+   This example synthesizes a two-minute trace from the time-sharing
+   model, round-trips it through the on-disk trace format, and replays
+   the identical request stream against three allocation policies, so
+   the comparison is free of stochastic noise between policies.  A
+   genuine trace in the same format could be dropped in unchanged. *)
+
+module C = Core
+
+let () =
+  let trace = C.Trace.synthesize ~workload:C.Workload.ts ~duration_ms:120_000. ~seed:7 in
+  Printf.printf "synthesized %d events over %.0f s from the %s model\n"
+    (C.Trace.event_count trace)
+    (C.Trace.duration_ms trace /. 1000.)
+    trace.C.Trace.name;
+
+  (* Round-trip through the textual format, as a genuine trace would
+     arrive. *)
+  let path = Filename.temp_file "rofs" ".trace" in
+  let oc = open_out path in
+  output_string oc (C.Trace.save trace);
+  close_out oc;
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  let trace =
+    match C.Trace.load text with
+    | Ok t -> t
+    | Error msg -> failwith ("trace round-trip failed: " ^ msg)
+  in
+
+  let table =
+    C.Table.create ~header:[ "policy"; "throughput"; "I/Os"; "alloc failures"; "internal frag" ]
+  in
+  List.iter
+    (fun (name, spec) ->
+      let r = C.Trace_runner.run spec trace in
+      C.Table.add_row table
+        [
+          name;
+          Printf.sprintf "%.1f%% of max" r.C.Trace_runner.pct_of_max;
+          string_of_int r.C.Trace_runner.io_ops;
+          string_of_int r.C.Trace_runner.alloc_failures;
+          Printf.sprintf "%.1f%%" (100. *. r.C.Trace_runner.internal_frag);
+        ])
+    [
+      ( "restricted buddy",
+        C.Experiment.Restricted
+          (C.Restricted_buddy.config
+             ~block_sizes_bytes:(C.Restricted_buddy.paper_block_sizes 3)
+             ()) );
+      ("fixed 4K", C.Experiment.Fixed (C.Fixed_block.config ~block_bytes:(4 * 1024) ()));
+      ("log-structured", C.Experiment.Log_structured (C.Log_structured.config ()));
+    ];
+  C.Table.print ~title:"Identical trace replayed under three policies" table

@@ -1,0 +1,1 @@
+lib/alloc/buddy.ml: Array Extent File_extents Hashtbl Int Policy Set

@@ -1,0 +1,1 @@
+lib/alloc/extent.ml: Format

@@ -1,0 +1,1 @@
+lib/alloc/extent.mli: Format

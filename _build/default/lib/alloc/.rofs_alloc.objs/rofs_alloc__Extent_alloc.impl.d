@@ -1,0 +1,1 @@
+lib/alloc/extent_alloc.ml: Extent File_extents Float Hashtbl List Option Policy Printf Rofs_util Set

@@ -1,0 +1,1 @@
+lib/alloc/extent_alloc.mli: Policy Rofs_util

@@ -1,0 +1,1 @@
+lib/alloc/file_extents.ml: Extent List Rofs_util

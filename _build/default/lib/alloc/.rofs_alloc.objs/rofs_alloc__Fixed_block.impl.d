@@ -1,0 +1,1 @@
+lib/alloc/fixed_block.ml: Array Extent File_extents Hashtbl Policy Printf Queue Rofs_util

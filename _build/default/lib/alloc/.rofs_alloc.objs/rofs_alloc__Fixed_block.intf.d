@@ -1,0 +1,1 @@
+lib/alloc/fixed_block.mli: Policy Rofs_util

@@ -1,0 +1,1 @@
+lib/alloc/log_structured.ml: Array Extent File_extents Hashtbl Int List Policy Printf Rofs_util Set

@@ -1,0 +1,1 @@
+lib/alloc/log_structured.mli: Policy

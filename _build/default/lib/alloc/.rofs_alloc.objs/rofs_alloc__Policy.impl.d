@@ -1,0 +1,1 @@
+lib/alloc/policy.ml: Extent List

@@ -1,0 +1,1 @@
+lib/alloc/restricted_buddy.mli: Policy

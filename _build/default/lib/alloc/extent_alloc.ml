@@ -1,0 +1,171 @@
+module Free_tree = Rofs_util.Free_tree
+module Units = Rofs_util.Units
+
+(* Secondary index for best fit: free extents ordered by (len, addr), so
+   the first element with len >= want is the smallest adequate extent,
+   lowest-addressed among equals. *)
+module Size_set = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+type fit = First_fit | Best_fit
+
+type config = { unit_bytes : int; fit : fit; range_means_bytes : int list }
+
+let config ?(unit_bytes = 1024) ?(fit = First_fit) ~range_means_bytes () =
+  { unit_bytes; fit; range_means_bytes }
+
+type file = { fx : File_extents.t; extent_units : int }
+
+type t = {
+  cfg : config;
+  total_units : int;
+  mutable tree : Free_tree.t;
+  mutable by_size : Size_set.t;
+  files : (int, file) Hashtbl.t;
+  rng : Rofs_util.Rng.t;
+}
+
+let insert_free t ~addr ~len =
+  t.tree <- Free_tree.insert t.tree ~addr ~len;
+  t.by_size <- Size_set.add (len, addr) t.by_size
+
+let remove_free t ~addr ~len =
+  t.tree <- Free_tree.remove t.tree ~addr;
+  t.by_size <- Size_set.remove (len, addr) t.by_size
+
+(* Free with immediate coalescing against both neighbours. *)
+let release t ~addr ~len =
+  let addr, len =
+    match Free_tree.pred t.tree ~addr with
+    | Some (paddr, plen) when paddr + plen = addr ->
+        remove_free t ~addr:paddr ~len:plen;
+        (paddr, plen + len)
+    | Some _ | None -> (addr, len)
+  in
+  let len =
+    match Free_tree.succ t.tree ~addr with
+    | Some (saddr, slen) when addr + len = saddr ->
+        remove_free t ~addr:saddr ~len:slen;
+        len + slen
+    | Some _ | None -> len
+  in
+  insert_free t ~addr ~len
+
+let find_fit t want =
+  match t.cfg.fit with
+  | First_fit -> Free_tree.first_fit t.tree ~want
+  | Best_fit -> begin
+      match Size_set.find_first_opt (fun (l, _) -> l >= want) t.by_size with
+      | Some (len, addr) -> Some (addr, len)
+      | None -> None
+    end
+
+let claim t want =
+  match find_fit t want with
+  | None -> None
+  | Some (addr, len) ->
+      remove_free t ~addr ~len;
+      if len > want then insert_free t ~addr:(addr + want) ~len:(len - want);
+      Some addr
+
+(* A file's extent size: a draw from the range whose mean is nearest its
+   allocation hint, std 10% of the mean, rounded to whole units. *)
+let draw_extent_units t ~hint =
+  let hint_bytes = float_of_int (hint * t.cfg.unit_bytes) in
+  let nearest =
+    List.fold_left
+      (fun best mean ->
+        match best with
+        | None -> Some mean
+        | Some b ->
+            if Float.abs (float_of_int mean -. hint_bytes) < Float.abs (float_of_int b -. hint_bytes)
+            then Some mean
+            else best)
+      None t.cfg.range_means_bytes
+  in
+  let mean = float_of_int (Option.get nearest) in
+  let bytes = Rofs_util.Dist.normal_positive t.rng ~mean ~std:(0.1 *. mean) in
+  max 1 (int_of_float (Float.round (bytes /. float_of_int t.cfg.unit_bytes)))
+
+let create cfg ~total_units ~rng =
+  if cfg.unit_bytes <= 0 || total_units <= 0 then invalid_arg "Extent_alloc.create";
+  if cfg.range_means_bytes = [] then invalid_arg "Extent_alloc.create: no extent ranges";
+  let t =
+    {
+      cfg;
+      total_units;
+      tree = Free_tree.empty;
+      by_size = Size_set.empty;
+      files = Hashtbl.create 256;
+      rng;
+    }
+  in
+  insert_free t ~addr:0 ~len:total_units;
+  let the_file file =
+    match Hashtbl.find_opt t.files file with
+    | Some f -> f
+    | None -> invalid_arg "Extent_alloc: unknown file"
+  in
+  let create_file ~file ~hint =
+    if Hashtbl.mem t.files file then invalid_arg "Extent_alloc: duplicate file";
+    Hashtbl.replace t.files file
+      { fx = File_extents.create (); extent_units = draw_extent_units t ~hint }
+  in
+  let ensure ~file ~target =
+    let f = the_file file in
+    let rec grow () =
+      if File_extents.allocated_units f.fx >= target then Ok ()
+      else begin
+        match claim t f.extent_units with
+        | None -> Error `Disk_full
+        | Some addr ->
+            File_extents.push f.fx (Extent.make ~addr ~len:f.extent_units);
+            grow ()
+      end
+    in
+    grow ()
+  in
+  let shrink_to ~file ~target =
+    let f = the_file file in
+    let rec drop () =
+      match File_extents.last f.fx with
+      | Some e when File_extents.allocated_units f.fx - e.Extent.len >= target -> begin
+          match File_extents.pop f.fx with
+          | Some e ->
+              release t ~addr:e.Extent.addr ~len:e.Extent.len;
+              drop ()
+          | None -> ()
+        end
+      | Some _ | None -> ()
+    in
+    drop ()
+  in
+  let delete ~file =
+    let f = the_file file in
+    File_extents.iter f.fx (fun e -> release t ~addr:e.Extent.addr ~len:e.Extent.len);
+    Hashtbl.remove t.files file
+  in
+  let name =
+    Printf.sprintf "extent(%s, %d ranges)"
+      (match cfg.fit with First_fit -> "first-fit" | Best_fit -> "best-fit")
+      (List.length cfg.range_means_bytes)
+  in
+  {
+    Policy.name;
+    unit_bytes = cfg.unit_bytes;
+    total_units;
+    create_file;
+    file_exists = (fun ~file -> Hashtbl.mem t.files file);
+    ensure;
+    shrink_to;
+    delete;
+    allocated_units = (fun ~file -> File_extents.allocated_units (the_file file).fx);
+    extent_count = (fun ~file -> File_extents.count (the_file file).fx);
+    extents = (fun ~file -> File_extents.to_list (the_file file).fx);
+    slice = (fun ~file ~off ~len -> File_extents.slice (the_file file).fx ~off ~len);
+    free_units = (fun () -> Free_tree.total_len t.tree);
+    largest_free = (fun () -> Free_tree.max_len t.tree);
+  }

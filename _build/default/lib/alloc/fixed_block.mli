@@ -1,0 +1,25 @@
+(** Fixed-block allocation — the paper's comparison baseline (Section 5).
+
+    A single block size (the paper compares 4K for the time-sharing
+    workload, 16K for TP/SC).  Free blocks live on a free list; blocks
+    are allocated off the head and freed to the tail, with no bias toward
+    striping or contiguous layout — exactly the behaviour the paper
+    ascribes to classic fixed-block UNIX file systems, where "as file
+    systems age, logically sequential blocks within a file get spread
+    across the entire disk".
+
+    With [aged = true] (the default) the initial free list is shuffled,
+    so the system starts in the aged steady state the paper assumes; with
+    [aged = false] it starts address-ordered and only churn scrambles
+    it. *)
+
+type config = {
+  unit_bytes : int;
+  block_bytes : int;  (** must be a multiple of [unit_bytes] *)
+  aged : bool;
+}
+
+val config : ?unit_bytes:int -> ?aged:bool -> block_bytes:int -> unit -> config
+
+val create : config -> total_units:int -> rng:Rofs_util.Rng.t -> Policy.t
+(** [rng] shuffles the initial free list when [aged]. *)

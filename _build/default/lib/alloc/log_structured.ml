@@ -1,0 +1,284 @@
+module IntSet = Set.Make (Int)
+
+(* Dirty-segment index ordered by garbage volume, so the cleaner finds
+   its best victim in O(log n) instead of scanning every segment. *)
+module Dirty_set = Set.Make (struct
+  type t = int * int (* (dead units, segment index) *)
+
+  let compare = compare
+end)
+
+type config = {
+  unit_bytes : int;
+  segment_bytes : int;
+  clean_threshold : int;
+  clean_target : int;
+}
+
+let config ?(unit_bytes = 1024) ?(segment_bytes = 1024 * 1024) ?(clean_threshold = 2)
+    ?(clean_target = 8) () =
+  { unit_bytes; segment_bytes; clean_threshold; clean_target }
+
+type segment = {
+  mutable live : int;  (** units belonging to live extents *)
+  mutable dead : int;  (** units of freed (garbage) extents *)
+  mutable filled : int;  (** units ever appended (live + dead); the bump pointer *)
+  residents : (int, unit) Hashtbl.t;  (** files that may own live extents here *)
+}
+
+type file = { fx : File_extents.t }
+
+type t = {
+  cfg : config;
+  seg_units : int;
+  nsegs : int;
+  segments : segment array;
+  mutable head : int;  (** index of the active (log head) segment; -1 before first use *)
+  mutable clean : IntSet.t;
+  mutable dirty : Dirty_set.t;  (** segments with any garbage, keyed by garbage volume *)
+  files : (int, file) Hashtbl.t;
+}
+
+let fresh_segment () = { live = 0; dead = 0; filled = 0; residents = Hashtbl.create 4 }
+
+let reindex_dirty t s ~old_dead =
+  let seg = t.segments.(s) in
+  if old_dead > 0 then t.dirty <- Dirty_set.remove (old_dead, s) t.dirty;
+  if seg.dead > 0 then t.dirty <- Dirty_set.add (seg.dead, s) t.dirty
+
+let segment_of t addr = addr / t.seg_units
+
+let clean_space t = IntSet.cardinal t.clean * t.seg_units
+
+let head_space t =
+  if t.head < 0 then 0 else t.seg_units - t.segments.(t.head).filled
+
+let free_units t = clean_space t + head_space t
+
+(* Reclaim a fully dead, non-head segment. *)
+let maybe_reclaim t s =
+  let seg = t.segments.(s) in
+  if s <> t.head && seg.live = 0 && seg.filled > 0 then begin
+    let old_dead = seg.dead in
+    seg.dead <- 0;
+    seg.filled <- 0;
+    Hashtbl.reset seg.residents;
+    reindex_dirty t s ~old_dead;
+    t.clean <- IntSet.add s t.clean
+  end
+
+let retire_extent t (e : Extent.t) =
+  let s = segment_of t e.Extent.addr in
+  let seg = t.segments.(s) in
+  let old_dead = seg.dead in
+  seg.live <- seg.live - e.Extent.len;
+  seg.dead <- seg.dead + e.Extent.len;
+  assert (seg.live >= 0);
+  reindex_dirty t s ~old_dead;
+  maybe_reclaim t s
+
+(* Advance the log head to a clean segment; returns false when none is
+   available. *)
+let switch_head t =
+  match IntSet.min_elt_opt t.clean with
+  | None -> false
+  | Some s ->
+      t.clean <- IntSet.remove s t.clean;
+      let old = t.head in
+      t.head <- s;
+      if old >= 0 then begin
+        (* The abandoned head's unfilled tail is unreachable by the
+           bump pointer; account it as garbage so the cleaner can
+           recover it and the space bookkeeping stays exact. *)
+        let seg = t.segments.(old) in
+        let old_dead = seg.dead in
+        seg.dead <- seg.dead + (t.seg_units - seg.filled);
+        seg.filled <- t.seg_units;
+        reindex_dirty t old ~old_dead;
+        maybe_reclaim t old
+      end;
+      true
+
+(* Append [len] units (len <= segment size) as one extent for [file];
+   the caller guarantees space exists somewhere in the log. *)
+let append_whole t ~file len =
+  assert (len > 0 && len <= t.seg_units);
+  let ok = if head_space t < len then switch_head t else true in
+  if not ok then None
+  else begin
+    let seg = t.segments.(t.head) in
+    let addr = (t.head * t.seg_units) + seg.filled in
+    seg.filled <- seg.filled + len;
+    seg.live <- seg.live + len;
+    Hashtbl.replace seg.residents file ();
+    Some (Extent.make ~addr ~len)
+  end
+
+(* Copy one dirty segment's live extents to the log head.  Returns false
+   when no suitable candidate exists or space would not permit. *)
+let clean_one t =
+  (* The victim is the dirtiest non-head segment; cleaning is only
+     worthwhile when at least a quarter of it is garbage (reclaiming
+     less copies almost a whole segment of live data for nothing, and
+     near-full disks would otherwise thrash the cleaner). *)
+  let candidate =
+    let rec pick set =
+      match Dirty_set.max_elt_opt set with
+      | Some (dead, s) when dead * 4 >= t.seg_units ->
+          if s <> t.head && t.segments.(s).live > 0 then Some s
+          else pick (Dirty_set.remove (dead, s) set)
+      | Some _ | None -> None
+    in
+    pick t.dirty
+  in
+  match candidate with
+  | None -> false
+  | Some s ->
+    let seg = t.segments.(s) in
+    (* Two conditions gate a clean.  Safety: the victim's live data must
+       fit the current head, or a whole clean segment must stand ready
+       (a head switch may strand the old head's tail, but a fresh
+       segment always holds a victim's worth of live data).  Progress:
+       the garbage reclaimed must exceed the tail a head switch could
+       strand — otherwise cleaning can cycle forever, manufacturing as
+       much garbage as it collects. *)
+    let safe = head_space t >= seg.live || not (IntSet.is_empty t.clean) in
+    let progress = head_space t >= seg.live || seg.dead > head_space t in
+    if not (safe && progress) then false
+    else begin
+      let lo = s * t.seg_units and hi = (s + 1) * t.seg_units in
+      let movers = Hashtbl.fold (fun f () acc -> f :: acc) seg.residents [] in
+      List.iter
+        (fun f ->
+          match Hashtbl.find_opt t.files f with
+          | None -> ()
+          | Some { fx } ->
+              File_extents.relocate fx (fun e ->
+                  if e.Extent.addr >= lo && e.Extent.addr < hi then begin
+                    match append_whole t ~file:f e.Extent.len with
+                    | Some fresh ->
+                        seg.live <- seg.live - e.Extent.len;
+                        Some fresh.Extent.addr
+                    | None ->
+                        (* free_units was checked above; appends of
+                           segment-bounded extents cannot fail here *)
+                        assert false
+                  end
+                  else None))
+        movers;
+      assert (seg.live = 0);
+      (* everything left behind is garbage *)
+      let old_dead = seg.dead in
+      seg.dead <- seg.filled;
+      Hashtbl.reset seg.residents;
+      reindex_dirty t s ~old_dead;
+      maybe_reclaim t s;
+      true
+    end
+
+let maybe_clean t =
+  if IntSet.cardinal t.clean <= t.cfg.clean_threshold then begin
+    let continue_ = ref true in
+    while !continue_ && IntSet.cardinal t.clean < t.cfg.clean_target do
+      continue_ := clean_one t
+    done
+  end
+
+let create cfg ~total_units =
+  if cfg.unit_bytes <= 0 || total_units <= 0 then invalid_arg "Log_structured.create";
+  if cfg.segment_bytes <= 0 || cfg.segment_bytes mod cfg.unit_bytes <> 0 then
+    invalid_arg "Log_structured.create: segment size must be a multiple of the unit";
+  if cfg.clean_threshold < 1 || cfg.clean_target <= cfg.clean_threshold then
+    invalid_arg "Log_structured.create: need clean_target > clean_threshold >= 1";
+  let seg_units = cfg.segment_bytes / cfg.unit_bytes in
+  let nsegs = total_units / seg_units in
+  if nsegs < 2 then invalid_arg "Log_structured.create: need at least two segments";
+  let t =
+    {
+      cfg;
+      seg_units;
+      nsegs;
+      segments = Array.init nsegs (fun _ -> fresh_segment ());
+      head = -1;
+      clean = IntSet.of_list (List.init nsegs (fun i -> i));
+      dirty = Dirty_set.empty;
+      files = Hashtbl.create 256;
+    }
+  in
+  ignore (switch_head t : bool);
+  let the_file file =
+    match Hashtbl.find_opt t.files file with
+    | Some f -> f
+    | None -> invalid_arg "Log_structured: unknown file"
+  in
+  let create_file ~file ~hint:_ =
+    if Hashtbl.mem t.files file then invalid_arg "Log_structured: duplicate file";
+    Hashtbl.replace t.files file { fx = File_extents.create () }
+  in
+  let ensure ~file ~target =
+    let f = the_file file in
+    maybe_clean t;
+    let rec grow () =
+      let allocated = File_extents.allocated_units f.fx in
+      if allocated >= target then Ok ()
+      else begin
+        (* Keep the clean-segment reserve topped up as we consume it:
+           once the log runs out of clean segments, cleaning itself has
+           nowhere to copy survivors (the classic LFS deadlock). *)
+        if IntSet.cardinal t.clean <= t.cfg.clean_threshold then
+          ignore (clean_one t : bool);
+        let remaining = target - allocated in
+        let room = if head_space t > 0 then head_space t else t.seg_units in
+        let len = min remaining room in
+        if free_units t < len then begin
+          (* one more cleaning attempt before giving up *)
+          if clean_one t then grow () else Error `Disk_full
+        end
+        else begin
+          match append_whole t ~file len with
+          | Some e ->
+              File_extents.push f.fx e;
+              grow ()
+          | None -> Error `Disk_full
+        end
+      end
+    in
+    grow ()
+  in
+  let shrink_to ~file ~target =
+    let f = the_file file in
+    let rec drop () =
+      match File_extents.last f.fx with
+      | Some e when File_extents.allocated_units f.fx - e.Extent.len >= target -> begin
+          match File_extents.pop f.fx with
+          | Some e ->
+              retire_extent t e;
+              drop ()
+          | None -> ()
+        end
+      | Some _ | None -> ()
+    in
+    drop ()
+  in
+  let delete ~file =
+    let f = the_file file in
+    File_extents.iter f.fx (fun e -> retire_extent t e);
+    Hashtbl.remove t.files file
+  in
+  {
+    Policy.name =
+      Printf.sprintf "log-structured(%s segments)" (Rofs_util.Units.to_string cfg.segment_bytes);
+    unit_bytes = cfg.unit_bytes;
+    total_units = nsegs * seg_units;
+    create_file;
+    file_exists = (fun ~file -> Hashtbl.mem t.files file);
+    ensure;
+    shrink_to;
+    delete;
+    allocated_units = (fun ~file -> File_extents.allocated_units (the_file file).fx);
+    extent_count = (fun ~file -> File_extents.count (the_file file).fx);
+    extents = (fun ~file -> File_extents.to_list (the_file file).fx);
+    slice = (fun ~file ~off ~len -> File_extents.slice (the_file file).fx ~off ~len);
+    free_units = (fun () -> free_units t);
+    largest_free = (fun () -> max (head_space t) (if IntSet.is_empty t.clean then 0 else t.seg_units));
+  }

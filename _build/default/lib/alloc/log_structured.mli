@@ -1,0 +1,35 @@
+(** Log-structured allocation (Rosenblum & Ousterhout's LFS storage
+    manager, the paper's [ROSE90] reference).
+
+    The paper's conclusion suggests incorporating "policies from a log
+    structured file system to allocate blocks" for small-file
+    environments; this policy is that extension.  The disk is divided
+    into fixed-size {e segments}; all allocation appends at the head of
+    the log, so writes — whatever the file — are bump-pointer
+    contiguous.  Freed space (truncated or deleted extents) merely turns
+    {e dead} inside its segment; a {e cleaner} reclaims it by copying a
+    dirty segment's live extents to the log head and marking the segment
+    clean.  A segment whose last live byte dies is reclaimed for free.
+
+    Faithfulness notes: allocation and cleaning are modelled; the pure
+    I/O redirection of overwrites (LFS rewrites data in place of reading
+    it back) is not — in this simulator writes go to the blocks the file
+    already owns, so the policy is compared with the others purely as an
+    allocator, the comparison the paper proposes.  Cleaning is charged
+    no simulated time (it would run in the background); its effect on
+    layout — relocated, compacted files — is fully modelled. *)
+
+type config = {
+  unit_bytes : int;
+  segment_bytes : int;  (** must be a multiple of [unit_bytes] *)
+  clean_threshold : int;
+      (** start cleaning when fewer clean segments remain *)
+  clean_target : int;  (** stop cleaning once this many are clean *)
+}
+
+val config :
+  ?unit_bytes:int -> ?segment_bytes:int -> ?clean_threshold:int -> ?clean_target:int -> unit ->
+  config
+(** Defaults: 1K units, 1M segments, clean at 2, target 8. *)
+
+val create : config -> total_units:int -> Policy.t

@@ -1,0 +1,28 @@
+type t = {
+  name : string;
+  unit_bytes : int;
+  total_units : int;
+  create_file : file:int -> hint:int -> unit;
+  file_exists : file:int -> bool;
+  ensure : file:int -> target:int -> (unit, [ `Disk_full ]) result;
+  shrink_to : file:int -> target:int -> unit;
+  delete : file:int -> unit;
+  allocated_units : file:int -> int;
+  extent_count : file:int -> int;
+  extents : file:int -> Extent.t list;
+  slice : file:int -> off:int -> len:int -> Extent.t list;
+  free_units : unit -> int;
+  largest_free : unit -> int;
+}
+
+let allocated_total t ~files =
+  List.fold_left (fun acc file -> acc + t.allocated_units ~file) 0 files
+
+let used_units t = t.total_units - t.free_units ()
+
+let utilization t = float_of_int (used_units t) /. float_of_int t.total_units
+
+let units_of_bytes t bytes =
+  if bytes <= 0 then 0 else ((bytes - 1) / t.unit_bytes) + 1
+
+let bytes_of_units t units = units * t.unit_bytes

@@ -1,0 +1,55 @@
+(** The common face of an allocation policy.
+
+    Each policy (buddy, restricted buddy, extent-based, fixed-block)
+    exposes a value of this record type so the simulator can drive any of
+    them through one interface.  All sizes are in the policy's disk
+    units; {!val-units_of_bytes} / {!val-bytes_of_units} convert.
+
+    Semantics shared by all policies:
+    {ul
+    {- [create_file] registers a file (with an allocation-size hint used
+       by the extent policy and a descriptor-placement hook used by the
+       clustered restricted buddy);}
+    {- [ensure ~file ~target] grows the file's {e allocated} size until
+       it is at least [target] units, in policy-sized pieces.  Policies
+       may overshoot (that overshoot is the internal fragmentation the
+       paper measures).  On [Error `Disk_full] the space allocated before
+       the failure is kept;}
+    {- [shrink_to ~file ~target] frees whole trailing extents while the
+       allocation stays at or above [target];}
+    {- [delete] frees everything and forgets the file.}} *)
+
+type t = {
+  name : string;
+  unit_bytes : int;  (** bytes per disk unit *)
+  total_units : int;  (** size of the managed address space *)
+  create_file : file:int -> hint:int -> unit;
+      (** [hint] is the file type's mean allocation size in units. *)
+  file_exists : file:int -> bool;
+  ensure : file:int -> target:int -> (unit, [ `Disk_full ]) result;
+  shrink_to : file:int -> target:int -> unit;
+  delete : file:int -> unit;
+  allocated_units : file:int -> int;
+  extent_count : file:int -> int;
+  extents : file:int -> Extent.t list;
+  slice : file:int -> off:int -> len:int -> Extent.t list;
+      (** Physical extents backing logical units [off..off+len). *)
+  free_units : unit -> int;
+  largest_free : unit -> int;
+      (** Largest contiguous piece the policy could hand out right now. *)
+}
+
+val allocated_total : t -> files:int list -> int
+(** Sum of [allocated_units] over [files]. *)
+
+val used_units : t -> int
+(** [total_units - free_units ()]. *)
+
+val utilization : t -> float
+(** Fraction of the address space currently allocated. *)
+
+val units_of_bytes : t -> int -> int
+(** Bytes rounded {e up} to whole units (at least 1 for positive
+    sizes). *)
+
+val bytes_of_units : t -> int -> int

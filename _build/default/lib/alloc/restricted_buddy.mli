@@ -1,0 +1,64 @@
+(** The paper's restricted buddy policy (Section 4.2).
+
+    The file system supports a small set of block sizes (e.g. 1K, 8K,
+    64K, 1M, 16M).  A block of size [s] always starts at an address that
+    is a multiple of [s]; blocks of one size coalesce into the next size
+    up whenever all of the constituent "buddies" are free (eagerly, on
+    every free).  Logically sequential blocks of a file are allocated to
+    physically contiguous addresses whenever possible.
+
+    As a file grows its block size grows: the allocation unit advances
+    from size [a(i)] to [a(i+1)] once the file holds [g * a(i+1)] bytes
+    in blocks of size [a(i)], where [g] is the {e grow factor}.  With
+    sizes 1K/8K and [g = 1], eight 1K blocks are allocated before the
+    first 8K block — the paper's example.
+
+    In the {e clustered} configuration the disk is divided into 32M
+    bookkeeping regions and the §4.2 region-selection algorithm applies:
+    first the optimal region (the region of the file's most recently
+    allocated block, falling back to the region of its file descriptor),
+    splitting a larger block in that region if the exact size is absent;
+    then an exact-size block in any region; and only then a split
+    anywhere.  In the {e unclustered} configuration all requests search
+    the whole disk, preferring the address just past the file's last
+    block.
+
+    Requests for a block that cannot be satisfied at the required size
+    (even by splitting) fail with [`Disk_full] — the policy never
+    substitutes a smaller block, so external fragmentation is
+    measurable. *)
+
+type config = {
+  unit_bytes : int;  (** the smallest block size; also the disk unit *)
+  block_sizes_bytes : int list;
+      (** increasing; first must equal [unit_bytes]; each must divide the next *)
+  grow_factor : int;  (** the grow-policy multiplier [g]; >= 1 *)
+  clustered : bool;
+  region_bytes : int;  (** bookkeeping region size (paper: 32M) *)
+  tail_bounded : bool;
+      (** when true (default), the final blocks of a request may come
+          from smaller size classes so allocation does not round a file
+          up to a whole next-tier block.  The paper states both that no
+          configuration fragments beyond ~6% (Figure 1, needs this on)
+          and that "any file over 72K requires a 64K block" (Figure 3,
+          needs it off); the flag exposes both readings of the grow
+          rule.  See DESIGN.md. *)
+}
+
+val config :
+  ?unit_bytes:int ->
+  ?grow_factor:int ->
+  ?clustered:bool ->
+  ?region_bytes:int ->
+  ?tail_bounded:bool ->
+  block_sizes_bytes:int list ->
+  unit ->
+  config
+(** Defaults: 1K units, grow factor 1, clustered, 32M regions,
+    tail-bounded. *)
+
+val paper_block_sizes : int -> int list
+(** [paper_block_sizes n] is the paper's n-size configuration for
+    [n] in 2..5: 1K,8K / 1K,8K,64K / …,1M / …,16M. *)
+
+val create : config -> total_units:int -> Policy.t

@@ -1,0 +1,68 @@
+(** Read-optimized file system designs: simulation library façade.
+
+    This library reproduces Seltzer & Stonebraker, "Read Optimized File
+    System Designs: A Performance Evaluation" (ICDE 1991): an
+    event-driven simulation comparing disk allocation policies — binary
+    buddy, restricted buddy, extent-based and fixed-block — on a striped
+    disk array, under time-sharing, transaction-processing and
+    supercomputing workloads.
+
+    Typical use:
+    {[
+      let spec =
+        Core.Experiment.Restricted
+          (Core.Restricted_buddy.config
+             ~block_sizes_bytes:(Core.Restricted_buddy.paper_block_sizes 5) ())
+      in
+      let app, seq = Core.Experiment.run_throughput spec Core.Workload.sc in
+      Printf.printf "application %.1f%%, sequential %.1f%%\n"
+        app.Core.Engine.pct_of_max seq.Core.Engine.pct_of_max
+    ]}
+
+    The submodules are re-exports of the underlying libraries; see their
+    interfaces for details. *)
+
+(** {1 Utilities} *)
+
+module Rng = Rofs_util.Rng
+module Dist = Rofs_util.Dist
+module Heap = Rofs_util.Heap
+module Stats = Rofs_util.Stats
+module Bitset = Rofs_util.Bitset
+module Free_tree = Rofs_util.Free_tree
+module Vec = Rofs_util.Vec
+module Units = Rofs_util.Units
+module Table = Rofs_util.Table
+
+(** {1 Disk system} *)
+
+module Geometry = Rofs_disk.Geometry
+module Drive = Rofs_disk.Drive
+module Array_model = Rofs_disk.Array_model
+
+(** {1 Allocation policies} *)
+
+module Extent = Rofs_alloc.Extent
+module File_extents = Rofs_alloc.File_extents
+module Policy = Rofs_alloc.Policy
+module Buddy = Rofs_alloc.Buddy
+module Restricted_buddy = Rofs_alloc.Restricted_buddy
+module Extent_alloc = Rofs_alloc.Extent_alloc
+module Fixed_block = Rofs_alloc.Fixed_block
+module Log_structured = Rofs_alloc.Log_structured
+
+(** {1 Workloads} *)
+
+module File_type = Rofs_workload.File_type
+module Workload = Rofs_workload.Workload
+module Trace = Rofs_workload.Trace
+
+(** {1 Simulation} *)
+
+module Volume = Rofs_sim.Volume
+module Engine = Rofs_sim.Engine
+module Report = Rofs_sim.Report
+module Trace_runner = Rofs_sim.Trace_runner
+module Experiment = Rofs_sim.Experiment
+
+val version : string

@@ -1,0 +1,1 @@
+lib/disk/array_model.ml: Array Drive Float Format Geometry List Rofs_util

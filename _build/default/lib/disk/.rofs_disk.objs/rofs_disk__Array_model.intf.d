@@ -1,0 +1,1 @@
+lib/disk/array_model.mli: Drive Format Geometry

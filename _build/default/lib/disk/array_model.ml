@@ -1,0 +1,246 @@
+type config =
+  | Striped of { stripe_unit : int }
+  | Mirrored of { stripe_unit : int }
+  | Raid5 of { stripe_unit : int }
+  | Parity_striped
+
+type kind = Read | Write
+
+type t = {
+  config : config;
+  geometry : Geometry.t;  (** representative drive (the first) *)
+  drives : Drive.t array;
+  drive_capacity : int;  (** usable bytes per drive: the smallest drive's capacity *)
+  per_drive_sustained : float;  (** sequential rate of the slowest drive *)
+  rng : Rofs_util.Rng.t;
+  mutable bytes_moved : int;
+}
+
+let create_mixed ?(seed = 0) ~geometries config =
+  let disks = List.length geometries in
+  if disks <= 0 then invalid_arg "Array_model.create: need at least one disk";
+  List.iter
+    (fun geometry ->
+      match config with
+      | Striped { stripe_unit } | Mirrored { stripe_unit } | Raid5 { stripe_unit } ->
+          if stripe_unit < geometry.Geometry.sector_bytes then
+            invalid_arg "Array_model.create: stripe unit smaller than sector"
+      | Parity_striped -> ())
+    geometries;
+  (match config with
+  | Mirrored _ when disks mod 2 <> 0 ->
+      invalid_arg "Array_model.create: mirroring needs an even disk count"
+  | Raid5 _ when disks < 3 -> invalid_arg "Array_model.create: RAID-5 needs >= 3 disks"
+  | Parity_striped when disks < 2 ->
+      invalid_arg "Array_model.create: parity striping needs >= 2 disks"
+  | _ -> ());
+  let fold f init = List.fold_left f init geometries in
+  {
+    config;
+    geometry = List.hd geometries;
+    drives = Array.of_list (List.map Drive.create geometries);
+    drive_capacity = fold (fun acc g -> min acc (Geometry.capacity_bytes g)) max_int;
+    per_drive_sustained = fold (fun acc g -> Float.min acc (Geometry.sustained_bytes_per_ms g)) infinity;
+    rng = Rofs_util.Rng.create ~seed;
+    bytes_moved = 0;
+  }
+
+let create ?(geometry = Geometry.cdc_wren_iv) ?seed ~disks config =
+  if disks <= 0 then invalid_arg "Array_model.create: need at least one disk";
+  create_mixed ?seed ~geometries:(List.init disks (fun _ -> geometry)) config
+
+let config t = t.config
+let disks t = Array.length t.drives
+let geometry t = t.geometry
+
+let drive_capacity t = t.drive_capacity
+
+(* Share of each drive devoted to data under parity striping: one
+   drive's worth of parity is spread over all N drives. *)
+let parity_striped_data_per_drive t =
+  let n = disks t in
+  drive_capacity t * (n - 1) / n
+
+let capacity_bytes t =
+  let n = disks t in
+  match t.config with
+  | Striped _ -> n * drive_capacity t
+  | Mirrored _ -> n / 2 * drive_capacity t
+  | Raid5 _ -> (n - 1) * drive_capacity t
+  | Parity_striped -> n * parity_striped_data_per_drive t
+
+let max_bandwidth_bytes_per_ms t =
+  let per_drive = t.per_drive_sustained in
+  let n = disks t in
+  let effective =
+    (* Mirrored arrays read from every spindle (each arm serves
+       different stripes), so the sequential maximum counts all
+       drives. *)
+    match t.config with
+    | Striped _ | Mirrored _ -> n
+    | Raid5 _ | Parity_striped -> n - 1
+  in
+  float_of_int effective *. per_drive
+
+(* A physical chunk: [bytes] at [offset] of drive [disk].  [parity]
+   chunks carry redundancy traffic and are excluded from the data-byte
+   accounting.  [rmw] chunks pay a read-modify-write (two passes). *)
+type chunk = { disk : int; offset : int; bytes : int; parity : bool; rmw : bool }
+
+let data_chunk disk offset bytes = { disk; offset; bytes; parity = false; rmw = false }
+
+(* Split a logical extent at [stripe]-unit boundaries and map each unit
+   through [place : unit_index -> within -> bytes -> chunk list]. *)
+let map_striped ~stripe ~place (addr, len) =
+  let rec go addr len acc =
+    if len <= 0 then List.rev acc
+    else begin
+      let within = addr mod stripe in
+      let take = min len (stripe - within) in
+      let chunks = place (addr / stripe) within take in
+      go (addr + take) (len - take) (List.rev_append chunks acc)
+    end
+  in
+  go addr len []
+
+let chunks_of_extent t ~kind (addr, len) =
+  if len < 0 || addr < 0 || addr + len > capacity_bytes t then
+    invalid_arg "Array_model: extent outside the array";
+  let n = disks t in
+  match t.config with
+  | Striped { stripe_unit } ->
+      let place idx within take =
+        let disk = idx mod n in
+        let offset = (idx / n * stripe_unit) + within in
+        [ data_chunk disk offset take ]
+      in
+      map_striped ~stripe:stripe_unit ~place (addr, len)
+  | Mirrored { stripe_unit } ->
+      let pairs = n / 2 in
+      let place idx within take =
+        let pair = idx mod pairs in
+        let offset = (idx / pairs * stripe_unit) + within in
+        let primary = 2 * pair and secondary = (2 * pair) + 1 in
+        match kind with
+        | Read ->
+            (* Prefer the arm already streaming this extent; otherwise
+               the shorter queue. *)
+            let disk =
+              if Drive.next_sequential t.drives.(primary) = offset then primary
+              else if Drive.next_sequential t.drives.(secondary) = offset then secondary
+              else if Drive.busy_until t.drives.(primary) <= Drive.busy_until t.drives.(secondary)
+              then primary
+              else secondary
+            in
+            [ data_chunk disk offset take ]
+        | Write ->
+            [
+              data_chunk primary offset take;
+              { disk = secondary; offset; bytes = take; parity = true; rmw = false };
+            ]
+      in
+      map_striped ~stripe:stripe_unit ~place (addr, len)
+  | Raid5 { stripe_unit } ->
+      let data_per_row = n - 1 in
+      let place idx within take =
+        let row = idx / data_per_row in
+        let pos = idx mod data_per_row in
+        let parity_disk = row mod n in
+        let disk = if pos < parity_disk then pos else pos + 1 in
+        let offset = (row * stripe_unit) + within in
+        match kind with
+        | Read -> [ data_chunk disk offset take ]
+        | Write ->
+            (* Small-write penalty: read-modify-write of the data unit
+               and of the row's parity unit. *)
+            [
+              { disk; offset; bytes = take; parity = false; rmw = true };
+              { disk = parity_disk; offset; bytes = take; parity = true; rmw = true };
+            ]
+      in
+      map_striped ~stripe:stripe_unit ~place (addr, len)
+  | Parity_striped ->
+      let per_drive = parity_striped_data_per_drive t in
+      let parity_base = per_drive in
+      let parity_span = drive_capacity t - per_drive in
+      let rec go addr len acc =
+        if len <= 0 then List.rev acc
+        else begin
+          let disk = addr / per_drive in
+          let within = addr mod per_drive in
+          let take = min len (per_drive - within) in
+          let data = data_chunk disk within take in
+          let chunks =
+            match kind with
+            | Read -> [ data ]
+            | Write ->
+                (* Parity for drive d's data lives in the parity region
+                   of drive d+1 (mod N), scaled down N-1 : 1. *)
+                let pdisk = (disk + 1) mod n in
+                let poff = parity_base + (within mod parity_span) in
+                let pbytes = min take (drive_capacity t - poff) in
+                [ data; { disk = pdisk; offset = poff; bytes = pbytes; parity = true; rmw = true } ]
+          in
+          go (addr + take) (len - take) (List.rev_append chunks acc)
+        end
+      in
+      go addr len []
+
+type service = { began : float; finished : float }
+
+let perform_chunks t ~now chunks =
+  (* Issue chunks drive by drive in arrival order; each drive's queue
+     (its busy clock) serialises them, distinct drives overlap.  [began]
+     is the moment the first chunk starts moving — after any queueing
+     behind earlier operations. *)
+  let finish = ref now in
+  let began = ref infinity in
+  let issue c =
+    let start = Float.max now (Drive.busy_until t.drives.(c.disk)) in
+    if start < !began then began := start;
+    let passes = if c.rmw then 2 else 1 in
+    for _ = 1 to passes do
+      let done_at =
+        Drive.access t.drives.(c.disk) ~now ~rng:t.rng ~offset:c.offset ~bytes:c.bytes
+      in
+      if done_at > !finish then finish := done_at
+    done;
+    if not c.parity then t.bytes_moved <- t.bytes_moved + c.bytes
+  in
+  List.iter issue chunks;
+  { began = (if !began = infinity then now else !began); finished = !finish }
+
+let service t ~now ~kind ~extents =
+  let chunks = List.concat_map (chunks_of_extent t ~kind) extents in
+  perform_chunks t ~now chunks
+
+let access t ~now ~kind ~extents = (service t ~now ~kind ~extents).finished
+
+let time_of t ~kind ~extents =
+  let geometries = Array.to_list (Array.map Drive.geometry t.drives) in
+  let scratch = create_mixed ~seed:0 ~geometries t.config in
+  access scratch ~now:0. ~kind ~extents
+
+let utilization t ~now =
+  if now <= 0. then 0.
+  else begin
+    let busy = Array.fold_left (fun acc d -> acc +. (Drive.stats d).Drive.busy_ms) 0. t.drives in
+    busy /. (now *. float_of_int (disks t))
+  end
+
+let bytes_moved t = t.bytes_moved
+
+let reset t =
+  Array.iter Drive.reset t.drives;
+  t.bytes_moved <- 0
+
+let drive_stats t = Array.map Drive.stats t.drives
+
+let pp_config ppf = function
+  | Striped { stripe_unit } ->
+      Format.fprintf ppf "striped (stripe unit %a)" Rofs_util.Units.pp_bytes stripe_unit
+  | Mirrored { stripe_unit } ->
+      Format.fprintf ppf "mirrored (stripe unit %a)" Rofs_util.Units.pp_bytes stripe_unit
+  | Raid5 { stripe_unit } ->
+      Format.fprintf ppf "RAID-5 (stripe unit %a)" Rofs_util.Units.pp_bytes stripe_unit
+  | Parity_striped -> Format.fprintf ppf "parity striped"

@@ -1,0 +1,88 @@
+(** A logical disk built from several drives.
+
+    Section 2.1: the disk system may be configured as a plain striped
+    array (the configuration used for all of the paper's results), a set
+    of mirrored disks, a RAID (rotating block parity), or Gray's parity
+    striping where files live on single disks but parity is spread.
+
+    The array exposes a flat byte address space of its {e data} capacity;
+    {!access} maps an operation on a list of logical extents to requests
+    on individual drives and returns the completion time (drives work in
+    parallel; each drive serialises its own queue). *)
+
+type config =
+  | Striped of { stripe_unit : int }
+      (** RAID-0: [stripe_unit] bytes per disk, round-robin. *)
+  | Mirrored of { stripe_unit : int }
+      (** Adjacent drive pairs hold identical data; data is striped
+          across the pairs.  Reads pick the less busy arm, writes pay
+          both. *)
+  | Raid5 of { stripe_unit : int }
+      (** N-1 data units plus one parity unit per stripe row, parity
+          rotating across drives.  Writes pay a read-modify-write on the
+          data drive and on the parity drive. *)
+  | Parity_striped
+      (** Gray's parity striping: drives are concatenated (no striping),
+          so a file's blocks live on one drive; writes also update a
+          parity region on a rotating partner drive. *)
+
+type kind = Read | Write
+
+type t
+
+val create : ?geometry:Geometry.t -> ?seed:int -> disks:int -> config -> t
+(** [create ~disks config] builds an array of [disks] identical drives
+    (default {!Geometry.cdc_wren_iv}).  [seed] (default 0) drives the
+    rotational-latency draws. *)
+
+val create_mixed : ?seed:int -> geometries:Geometry.t list -> config -> t
+(** Heterogeneous array (Section 2.1 allows "multiple heterogeneous
+    devices").  Addressing is uniform, so each drive contributes the
+    capacity of the {e smallest} drive; each services its requests with
+    its own seek/rotation parameters, so slow drives straggle striped
+    transfers.  Requires at least one geometry. *)
+
+val config : t -> config
+val disks : t -> int
+val geometry : t -> Geometry.t
+
+val capacity_bytes : t -> int
+(** Usable data capacity (excludes mirrors and parity). *)
+
+val max_bandwidth_bytes_per_ms : t -> float
+(** Sustained sequential {e data} bandwidth of the whole array — the
+    denominator for the paper's "percent of maximum throughput" metric.
+    For the default 8-drive striped Wren IV array this is the paper's
+    10.8 M/s. *)
+
+type service = { began : float; finished : float }
+(** [began] is when the operation's first byte starts moving (after any
+    queueing behind earlier operations); [finished] when its last drive
+    completes. *)
+
+val service : t -> now:float -> kind:kind -> extents:(int * int) list -> service
+(** Perform one logical operation touching the given [(offset, bytes)]
+    data extents (in order).  Chunks destined to distinct drives proceed
+    in parallel; chunks on one drive are serialised in extent order. *)
+
+val access : t -> now:float -> kind:kind -> extents:(int * int) list -> float
+(** [access t ~now ~kind ~extents] is [(service t ...).finished]. *)
+
+val time_of : t -> kind:kind -> extents:(int * int) list -> float
+(** Duration [access] would take on an otherwise idle, just-reset array;
+    convenience for unit tests and analytic checks (no state change). *)
+
+val utilization : t -> now:float -> float
+(** Fraction of elapsed time the drives spent busy, averaged over
+    drives; [0.] at time zero. *)
+
+val bytes_moved : t -> int
+(** Total data bytes transferred (excludes mirror copies and parity
+    traffic). *)
+
+val reset : t -> unit
+(** Reset every drive's clock, arm and statistics. *)
+
+val drive_stats : t -> Drive.stats array
+
+val pp_config : Format.formatter -> config -> unit

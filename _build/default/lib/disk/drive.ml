@@ -1,0 +1,94 @@
+type stats = { requests : int; bytes_moved : int; seeks : int; busy_ms : float }
+
+type t = {
+  geometry : Geometry.t;
+  mutable head_cylinder : int;
+  mutable busy_until : float;
+  mutable next_sequential : int;  (** byte offset one past the last transfer; -1 if none *)
+  mutable requests : int;
+  mutable bytes_moved : int;
+  mutable seeks : int;
+  mutable busy_ms : float;
+}
+
+let create geometry =
+  {
+    geometry;
+    head_cylinder = 0;
+    busy_until = 0.;
+    next_sequential = -1;
+    requests = 0;
+    bytes_moved = 0;
+    seeks = 0;
+    busy_ms = 0.;
+  }
+
+let geometry t = t.geometry
+let busy_until t = t.busy_until
+let head_cylinder t = t.head_cylinder
+let next_sequential t = t.next_sequential
+
+(* Duration of a transfer plus whether it paid a seek/latency; pure in
+   [t] so that [service_time_ms] can share it. *)
+let duration t ~rng ~offset ~bytes =
+  let g = t.geometry in
+  assert (bytes >= 0 && offset >= 0 && offset + bytes <= Geometry.capacity_bytes g);
+  if bytes = 0 then (0., false)
+  else begin
+    let first_cyl = Geometry.cylinder_of_offset g offset in
+    let last_cyl = Geometry.cylinder_of_offset g (offset + bytes - 1) in
+    let gap = if t.next_sequential < 0 then -1 else offset - t.next_sequential in
+    (* Three positioning regimes:
+       - exact sequential continuation: free — the heads are already
+         there ("rotationally optimal" layout);
+       - a short forward skip (under a cylinder): the platter simply
+         rotates over the skipped sectors — this is what reading past a
+         RAID-5 parity unit or a small hole in a file costs;
+       - anything else: a real seek plus rotational latency.
+       Cylinder crossings always pay the track-to-track seek — including
+       the boundary between this transfer and the previous one — which
+       bounds streaming at the drive's sustained rate rather than its
+       raw media rate. *)
+    let position_cost, crossings, repositioned =
+      if gap = 0 then (0., last_cyl - t.head_cylinder, false)
+      else if gap > 0 && gap < Geometry.cylinder_bytes g then
+        (Geometry.transfer_ms g ~bytes:gap, last_cyl - t.head_cylinder, false)
+      else begin
+        let distance = abs (first_cyl - t.head_cylinder) in
+        let latency = Rofs_util.Rng.float rng *. g.Geometry.rotation_ms in
+        (Geometry.seek_ms g ~distance +. latency, last_cyl - first_cyl, true)
+      end
+    in
+    let crossing_cost = float_of_int crossings *. g.Geometry.single_track_seek_ms in
+    let transfer = Geometry.transfer_ms g ~bytes in
+    (position_cost +. crossing_cost +. transfer, repositioned)
+  end
+
+let service_time_ms t ~rng ~offset ~bytes = fst (duration t ~rng ~offset ~bytes)
+
+let access t ~now ~rng ~offset ~bytes =
+  let time, paid_seek = duration t ~rng ~offset ~bytes in
+  let start = Float.max now t.busy_until in
+  let finish = start +. time in
+  t.busy_until <- finish;
+  if bytes > 0 then begin
+    t.head_cylinder <- Geometry.cylinder_of_offset t.geometry (offset + bytes - 1);
+    t.next_sequential <- offset + bytes;
+    t.requests <- t.requests + 1;
+    t.bytes_moved <- t.bytes_moved + bytes;
+    if paid_seek then t.seeks <- t.seeks + 1;
+    t.busy_ms <- t.busy_ms +. time
+  end;
+  finish
+
+let stats t =
+  { requests = t.requests; bytes_moved = t.bytes_moved; seeks = t.seeks; busy_ms = t.busy_ms }
+
+let reset t =
+  t.head_cylinder <- 0;
+  t.busy_until <- 0.;
+  t.next_sequential <- -1;
+  t.requests <- 0;
+  t.bytes_moved <- 0;
+  t.seeks <- 0;
+  t.busy_ms <- 0.

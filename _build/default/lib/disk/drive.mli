@@ -1,0 +1,48 @@
+(** Mutable state of one spinning drive.
+
+    A drive serialises its requests FCFS (its [busy_until] clock), tracks
+    the arm's cylinder, and detects back-to-back sequential access: when a
+    request begins exactly where the previous transfer on this drive
+    ended, neither seek nor rotational latency is charged (the paper's
+    policies lay blocks out "in a rotationally optimal fashion", so a
+    contiguous continuation streams at media rate).  Transfers that cross
+    cylinder boundaries pay one single-track seek per boundary. *)
+
+type t
+
+type stats = {
+  requests : int;
+  bytes_moved : int;
+  seeks : int;  (** requests that paid a non-zero arm movement or latency *)
+  busy_ms : float;  (** total time spent servicing requests *)
+}
+
+val create : Geometry.t -> t
+
+val geometry : t -> Geometry.t
+
+val busy_until : t -> float
+(** Time at which the drive next falls idle. *)
+
+val head_cylinder : t -> int
+
+val next_sequential : t -> int
+(** Byte offset one past the previous transfer; [-1] before any. *)
+
+val access : t -> now:float -> rng:Rofs_util.Rng.t -> offset:int -> bytes:int -> float
+(** [access t ~now ~rng ~offset ~bytes] queues a transfer of [bytes]
+    bytes at byte [offset] of this drive, starting no earlier than [now],
+    and returns its completion time.  Updates arm position, busy clock
+    and statistics.  Requires [bytes >= 0] and the transfer to lie within
+    the drive. *)
+
+val service_time_ms : t -> rng:Rofs_util.Rng.t -> offset:int -> bytes:int -> float
+(** The duration [access] would charge, without performing the request
+    (no state change; the latency draw uses [rng]). *)
+
+val stats : t -> stats
+
+val reset : t -> unit
+(** Zero the clock, statistics and sequential-detection state; the arm
+    returns to cylinder 0.  Used between the fill phase and the measured
+    phase of an experiment. *)

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Float List Printf Queue Rofs_alloc Rofs_disk Rofs_util Rofs_workload Volume

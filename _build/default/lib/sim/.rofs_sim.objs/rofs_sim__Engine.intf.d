@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Rofs_alloc Rofs_disk Rofs_workload Volume

@@ -1,0 +1,1 @@
+lib/sim/experiment.ml: Engine List Rofs_alloc Rofs_disk Rofs_util

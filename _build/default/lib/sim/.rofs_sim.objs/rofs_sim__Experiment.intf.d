@@ -1,0 +1,1 @@
+lib/sim/experiment.mli: Engine Rofs_alloc Rofs_util Rofs_workload

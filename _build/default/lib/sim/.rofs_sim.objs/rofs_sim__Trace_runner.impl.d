@@ -1,0 +1,1 @@
+lib/sim/trace_runner.ml: Engine Experiment Float Hashtbl List Rofs_disk Rofs_util Rofs_workload Volume

@@ -1,0 +1,1 @@
+lib/sim/trace_runner.mli: Engine Experiment Rofs_workload

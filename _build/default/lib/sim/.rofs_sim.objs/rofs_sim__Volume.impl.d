@@ -1,0 +1,1 @@
+lib/sim/volume.ml: Array Float Hashtbl List Rofs_alloc Rofs_util

@@ -1,0 +1,1 @@
+lib/sim/volume.mli: Rofs_alloc Rofs_util

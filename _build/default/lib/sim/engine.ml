@@ -1,0 +1,529 @@
+module Rng = Rofs_util.Rng
+module Dist = Rofs_util.Dist
+module Heap = Rofs_util.Heap
+module Stats = Rofs_util.Stats
+module Array_model = Rofs_disk.Array_model
+module File_type = Rofs_workload.File_type
+module Workload = Rofs_workload.Workload
+
+type config = {
+  seed : int;
+  disks : int;
+  stripe_unit_bytes : int;
+  array_config : int -> Array_model.config;
+  lower_bound : float;
+  upper_bound : float;
+  interval_ms : float;
+  stable_windows : int;
+  tolerance_pct : float;
+  max_measure_ms : float;
+  max_alloc_ops : int;
+  readahead_factor : int;
+  warmup_checkpoints : int;
+  metadata_io : bool;
+}
+
+let default_config =
+  {
+    seed = 42;
+    disks = 8;
+    stripe_unit_bytes = 24 * 1024;
+    array_config = (fun stripe_unit -> Array_model.Striped { stripe_unit });
+    lower_bound = 0.90;
+    upper_bound = 0.95;
+    interval_ms = 10_000.;
+    stable_windows = 3;
+    tolerance_pct = 0.1;
+    max_measure_ms = 900_000.;
+    max_alloc_ops = 5_000_000;
+    readahead_factor = 4;
+    warmup_checkpoints = 5;
+    metadata_io = false;
+  }
+
+type alloc_report = {
+  internal_frag : float;
+  external_frag : float;
+  alloc_ops : int;
+  utilization_at_end : float;
+  failed : bool;
+}
+
+type throughput_report = {
+  pct_of_max : float;
+  bytes_per_ms : float;
+  measured_ms : float;
+  checkpoints : int;
+  stabilized : bool;
+  io_ops : int;
+  disk_fulls : int;
+  utilization : float;
+  mean_extents_per_file : float;
+  meta_bytes : int;
+}
+
+type user = {
+  type_idx : int;
+  ft : File_type.t;
+  rng : Rng.t;
+  mutable file : int;  (** current target; -1 forces a fresh pick *)
+  mutable seq_offset : int;  (** scan position for Sequential types, bytes *)
+  mutable read_ahead_until : int;  (** bytes of [file] already staged in memory *)
+  mutable write_behind_until : int;  (** bytes of [file] covered by the last coalesced write *)
+}
+
+(* How operations are selected and executed, per test (Section 3). *)
+type mode =
+  | Alloc_only of { governed : bool }
+      (** extend/truncate/delete only, no disk timing; [governed] caps
+          utilization at the upper bound (fill phase) while the
+          allocation test runs ungoverned until it fails *)
+  | Full_mix  (** the application-performance test *)
+  | Whole_file_rw  (** the sequential-performance test *)
+
+type t = {
+  cfg : config;
+  workload : Workload.t;
+  types : File_type.t array;
+  volume : Volume.t;
+  array : Array_model.t;
+  rng : Rng.t;
+  heap : user Heap.t;
+  users : user array;
+  mutable in_flight : (float * float * int) list;
+      (** (issue, completion, bytes) of I/Os not yet fully credited *)
+  mutable now : float;
+  mutable disk_fulls : int;
+  mutable io_ops : int;
+  mutable alloc_ops : int;
+  mutable bytes_completed : int;
+  mutable meta_bytes : int;
+}
+
+let volume t = t.volume
+let array_model t = t.array
+let now_ms t = t.now
+let max_bandwidth_pct_base t = Array_model.max_bandwidth_bytes_per_ms t.array
+
+(* Phase 2 of initialization: create every file at a size drawn uniform
+   on (initial mean +- deviation); allocation requests are issued until
+   the allocated length covers it.  As many files grow concurrently as
+   the workload has users, round-robin, in write-behind-sized steps —
+   the way a population accretes on a live system.  Policies whose
+   blocks are small therefore end up with layouts interleaved between
+   the concurrent writers, while large-block policies stay contiguous;
+   this is the layout difference behind the paper's Figure 2 block-size
+   spread. *)
+let populate t =
+  let waiting = Queue.create () in
+  Array.iteri
+    (fun type_idx ft ->
+      for _ = 1 to ft.File_type.count do
+        let file =
+          Volume.create_file t.volume ~type_idx ~hint_bytes:ft.File_type.alloc_hint_bytes
+        in
+        let size = File_type.draw_initial_bytes ft t.rng in
+        if size > 0 then Queue.add (ft, file, size) waiting
+      done)
+    t.types;
+  let window = max 1 (Workload.total_users t.workload) in
+  let active = Queue.create () in
+  let refill () =
+    while Queue.length active < window && not (Queue.is_empty waiting) do
+      Queue.add (Queue.take waiting) active
+    done
+  in
+  refill ();
+  while not (Queue.is_empty active) do
+    let ft, file, remaining = Queue.take active in
+    (* Write-behind batches requests, so growth lands in readahead-sized
+       chunks rather than single bursts. *)
+    let step =
+      min remaining (max 1 t.cfg.readahead_factor * File_type.draw_rw_bytes ft t.rng)
+    in
+    match Volume.grow t.volume ~file ~bytes:step with
+    | Ok () ->
+        if remaining > step then Queue.add (ft, file, remaining - step) active else refill ()
+    | Error `Disk_full ->
+        failwith
+          (Printf.sprintf "Engine: initial population of %s does not fit (utilization %.1f%%)"
+             ft.File_type.name
+             (100. *. Volume.utilization t.volume))
+  done
+
+(* Phase 1 of initialization (and re-seeding between tests): each user
+   event gets a start time uniform on [now, now + users * hit_freq]. *)
+let seed_events t =
+  Heap.clear t.heap;
+  Array.iter
+    (fun user ->
+      let spread = float_of_int user.ft.File_type.users *. user.ft.File_type.hit_freq_ms in
+      let start = t.now +. Dist.uniform t.rng ~lo:0. ~hi:(Float.max spread 1.) in
+      Heap.push t.heap ~prio:start user)
+    t.users
+
+let create cfg ~policy ~workload =
+  Workload.validate workload;
+  let array = Array_model.create ~seed:cfg.seed ~disks:cfg.disks (cfg.array_config cfg.stripe_unit_bytes) in
+  let policy_bytes = policy.Rofs_alloc.Policy.total_units * policy.Rofs_alloc.Policy.unit_bytes in
+  if policy_bytes > Array_model.capacity_bytes array then
+    invalid_arg "Engine.create: policy address space exceeds the array capacity";
+  let types = Array.of_list workload.Workload.types in
+  let rng = Rng.create ~seed:cfg.seed in
+  let users =
+    Array.of_list
+      (List.concat
+         (List.mapi
+            (fun type_idx ft ->
+              List.init ft.File_type.users (fun _ ->
+                  {
+                    type_idx;
+                    ft;
+                    rng = Rng.split rng;
+                    file = -1;
+                    seq_offset = 0;
+                    read_ahead_until = 0;
+                    write_behind_until = 0;
+                  }))
+            workload.Workload.types))
+  in
+  let t =
+    {
+      cfg;
+      workload;
+      types;
+      volume = Volume.create policy ~ntypes:(Array.length types);
+      array;
+      rng;
+      heap = Heap.create ();
+      users;
+      in_flight = [];
+      now = 0.;
+      disk_fulls = 0;
+      io_ops = 0;
+      alloc_ops = 0;
+      bytes_completed = 0;
+      meta_bytes = 0;
+    }
+  in
+  populate t;
+  seed_events t;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Operation execution                                                 *)
+
+let pick_file t user =
+  match user.ft.File_type.pattern with
+  | File_type.Whole_file | File_type.Random_access ->
+      Volume.random_file t.volume user.rng ~type_idx:user.type_idx
+  | File_type.Sequential ->
+      if user.file >= 0 && Volume.file_exists t.volume ~file:user.file then Some user.file
+      else begin
+        match Volume.random_file t.volume user.rng ~type_idx:user.type_idx with
+        | Some file ->
+            user.file <- file;
+            user.seq_offset <- 0;
+            user.read_ahead_until <- 0;
+            user.write_behind_until <- 0;
+            Some file
+        | None -> None
+      end
+
+(* Issue the physical transfer for a logical byte range and return its
+   completion time; bytes are credited to the throughput accounting at
+   completion. *)
+let do_io t ~kind ~file ~off ~len =
+  let extents = Volume.slice_bytes t.volume ~file ~off ~len in
+  if extents = [] then t.now
+  else begin
+    let physical = List.fold_left (fun acc (_, l) -> acc + l) 0 extents in
+    let sv = Array_model.service t.array ~now:t.now ~kind ~extents in
+    t.io_ops <- t.io_ops + 1;
+    (* Credit bytes over the service window, not the queue wait. *)
+    t.in_flight <- (sv.Array_model.began, sv.Array_model.finished, physical) :: t.in_flight;
+    sv.Array_model.finished
+  end
+
+let do_read_write t user ~kind ~whole =
+  match pick_file t user with
+  | None -> t.now
+  | Some file ->
+      let logical = Volume.logical_bytes t.volume ~file in
+      if logical = 0 then t.now
+      else begin
+        let off, len =
+          if whole then (0, logical)
+          else begin
+            match user.ft.File_type.pattern with
+            | File_type.Whole_file -> (0, logical)
+            | File_type.Random_access ->
+                let len = min (File_type.draw_rw_bytes user.ft user.rng) logical in
+                let span = logical - len in
+                let off = if span = 0 then 0 else Rng.int user.rng (span + 1) in
+                (off, len)
+            | File_type.Sequential ->
+                let off = if user.seq_offset >= logical then 0 else user.seq_offset in
+                let len = min (File_type.draw_rw_bytes user.ft user.rng) (logical - off) in
+                user.seq_offset <- off + len;
+                if user.seq_offset >= logical then begin
+                  (* Wrapped: move to another file for the next burst. *)
+                  user.file <- -1;
+                  user.seq_offset <- 0
+                end;
+                (off, len)
+          end
+        in
+        (* Read-ahead / write-behind: on a sequential scan, stage
+           [readahead_factor] bursts per disk visit; bursts already
+           inside the staged window complete from memory.  Whole-file
+           test transfers always hit the disk. *)
+        if
+          (not whole)
+          && user.ft.File_type.pattern = File_type.Sequential
+          && t.cfg.readahead_factor > 1
+        then begin
+          let window_end =
+            match kind with
+            | Array_model.Read -> user.read_ahead_until
+            | Array_model.Write -> user.write_behind_until
+          in
+          if off + len <= window_end then t.now
+          else begin
+            let staged = min logical (off + (t.cfg.readahead_factor * max len 1)) in
+            (match kind with
+            | Array_model.Read -> user.read_ahead_until <- staged
+            | Array_model.Write -> user.write_behind_until <- staged);
+            do_io t ~kind ~file ~off ~len:(staged - off)
+          end
+        end
+        else do_io t ~kind ~file ~off ~len
+      end
+
+(* When metadata accounting is on, every extent the allocator creates
+   costs descriptor traffic: extent records are packed 64 to a unit
+   (inode + indirect blocks), and the blocks holding the new records are
+   written back at the file's descriptor location (a stable hash of the
+   file id — a stand-in for inode placement).  Policies that shatter
+   files into many pieces pay proportionally more. *)
+let records_per_meta_unit = 64
+
+let charge_metadata t ~file ~new_extents =
+  if t.cfg.metadata_io && new_extents > 0 then begin
+    let unit = (Volume.policy t.volume).Rofs_alloc.Policy.unit_bytes in
+    let capacity = Array_model.capacity_bytes t.array in
+    let meta_units = ((new_extents - 1) / records_per_meta_unit) + 1 in
+    let slot = (file * 2654435761) land max_int mod ((capacity / unit) - meta_units) in
+    let finish =
+      Array_model.access t.array ~now:t.now ~kind:Array_model.Write
+        ~extents:[ (slot * unit, meta_units * unit) ]
+    in
+    ignore (finish : float);
+    t.meta_bytes <- t.meta_bytes + (meta_units * unit)
+  end
+
+let do_extend t user ~with_io =
+  t.alloc_ops <- t.alloc_ops + 1;
+  match pick_file t user with
+  | None -> (t.now, false)
+  | Some file ->
+      let bytes = File_type.draw_rw_bytes user.ft user.rng in
+      let old_logical = Volume.logical_bytes t.volume ~file in
+      let extents_before = Volume.extent_count t.volume ~file in
+      (match Volume.grow t.volume ~file ~bytes with
+      | Ok () ->
+          if with_io then begin
+            charge_metadata t ~file
+              ~new_extents:(Volume.extent_count t.volume ~file - extents_before);
+            (do_io t ~kind:Array_model.Write ~file ~off:old_logical ~len:bytes, false)
+          end
+          else (t.now, false)
+      | Error `Disk_full ->
+          t.disk_fulls <- t.disk_fulls + 1;
+          (t.now, true))
+
+let do_truncate t user =
+  t.alloc_ops <- t.alloc_ops + 1;
+  (match pick_file t user with
+  | None -> ()
+  | Some file -> Volume.truncate t.volume ~file ~bytes:user.ft.File_type.truncate_bytes);
+  (t.now, false)
+
+(* Delete removes the file and immediately recreates it at the size it
+   had — the paper's periodically deleted and recreated files.  The
+   rebuilt file lands wherever the allocator now places it, so deletion
+   churn relocates data (and ages the free lists) without deflating the
+   population back toward its initial size. *)
+let do_delete t user =
+  t.alloc_ops <- t.alloc_ops + 1;
+  match pick_file t user with
+  | None -> (t.now, false)
+  | Some file ->
+      let size = Volume.logical_bytes t.volume ~file in
+      Volume.delete t.volume ~file;
+      Array.iter (fun u -> if u.file = file then u.file <- -1) t.users;
+      let fresh =
+        Volume.create_file t.volume ~type_idx:user.type_idx
+          ~hint_bytes:user.ft.File_type.alloc_hint_bytes
+      in
+      (match Volume.grow t.volume ~file:fresh ~bytes:size with
+      | Ok () -> (t.now, false)
+      | Error `Disk_full ->
+          t.disk_fulls <- t.disk_fulls + 1;
+          (t.now, true))
+
+(* Perform one operation for [user]; returns (completion time, whether
+   an allocation failed). *)
+let perform t ~mode user =
+  match mode with
+  | Whole_file_rw ->
+      let reads = user.ft.File_type.read_pct and writes = user.ft.File_type.write_pct in
+      let kind =
+        if reads + writes = 0 then Array_model.Read
+        else if Rng.int user.rng (reads + writes) < reads then Array_model.Read
+        else Array_model.Write
+      in
+      (do_read_write t user ~kind ~whole:true, false)
+  | Alloc_only { governed } -> begin
+      match File_type.pick_alloc_op user.ft user.rng with
+      | File_type.Extend ->
+          if governed && Volume.utilization t.volume >= t.cfg.upper_bound then
+            do_truncate t user
+          else do_extend t user ~with_io:false
+      | File_type.Truncate -> do_truncate t user
+      | File_type.Delete -> do_delete t user
+      | File_type.Read | File_type.Write -> assert false
+    end
+  | Full_mix -> begin
+      match File_type.pick_op user.ft user.rng with
+      | File_type.Read -> (do_read_write t user ~kind:Array_model.Read ~whole:false, false)
+      | File_type.Write -> (do_read_write t user ~kind:Array_model.Write ~whole:false, false)
+      | File_type.Extend ->
+          if Volume.utilization t.volume >= t.cfg.upper_bound then do_truncate t user
+          else do_extend t user ~with_io:true
+      | File_type.Truncate -> do_truncate t user
+      | File_type.Delete -> do_delete t user
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Event loop                                                          *)
+
+(* [stop ~failed] is consulted after every event. *)
+let run_events t ~mode ~stop =
+  let rec loop () =
+    match Heap.pop t.heap with
+    | None -> ()
+    | Some (time, user) ->
+        t.now <- Float.max t.now time;
+        let completion, failed = perform t ~mode user in
+        let think = Dist.exponential user.rng ~mean:user.ft.File_type.process_time_ms in
+        Heap.push t.heap ~prio:(completion +. think) user;
+        if not (stop ~failed) then loop ()
+  in
+  loop ()
+
+let run_allocation_test t =
+  let ops_at_start = t.alloc_ops in
+  let failed_once = ref false in
+  let stop ~failed =
+    if failed then failed_once := true;
+    failed || t.alloc_ops - ops_at_start > t.cfg.max_alloc_ops
+  in
+  run_events t ~mode:(Alloc_only { governed = false }) ~stop;
+  {
+    internal_frag = Volume.internal_fragmentation t.volume;
+    external_frag = Volume.external_fragmentation t.volume;
+    alloc_ops = t.alloc_ops - ops_at_start;
+    utilization_at_end = Volume.utilization t.volume;
+    failed = !failed_once;
+  }
+
+(* Allocation-only churn until utilization reaches N; policies whose
+   fragmentation prevents that plateau out (a run of failed allocations
+   with no net growth) and measurement starts where they stalled. *)
+let fill_to_lower_bound t =
+  let ops_at_start = t.alloc_ops in
+  let best_used = ref (Volume.used_bytes t.volume) in
+  let fails_since_growth = ref 0 in
+  let stop ~failed =
+    if failed then incr fails_since_growth;
+    let used = Volume.used_bytes t.volume in
+    if used > !best_used then begin
+      best_used := used;
+      fails_since_growth := 0
+    end;
+    Volume.utilization t.volume >= t.cfg.lower_bound
+    || !fails_since_growth > 500
+    || t.alloc_ops - ops_at_start > t.cfg.max_alloc_ops
+  in
+  run_events t ~mode:(Alloc_only { governed = true }) ~stop;
+  seed_events t
+
+(* Bytes transferred by time [upto]: fully finished I/Os are folded into
+   [bytes_completed]; I/Os still in service are credited linearly over
+   their service interval, so long whole-file transfers contribute to the
+   checkpoints they span rather than arriving as a lump at completion. *)
+let bytes_transferred_by t ~upto =
+  let still_pending = ref [] in
+  let partial = ref 0. in
+  List.iter
+    (fun ((issue, finish, bytes) as op) ->
+      if finish <= upto then t.bytes_completed <- t.bytes_completed + bytes
+      else begin
+        still_pending := op :: !still_pending;
+        if issue < upto && finish > issue then
+          partial := !partial +. (float_of_int bytes *. (upto -. issue) /. (finish -. issue))
+      end)
+    t.in_flight;
+  t.in_flight <- !still_pending;
+  float_of_int t.bytes_completed +. !partial
+
+let run_measured t ~mode =
+  let start = t.now in
+  let io_at_start = t.io_ops and fulls_at_start = t.disk_fulls in
+  let meta_at_start = t.meta_bytes in
+  t.bytes_completed <- 0;
+  t.in_flight <- [];
+  let series =
+    Stats.Series.create ~window:t.cfg.stable_windows ~tolerance:t.cfg.tolerance_pct
+  in
+  let max_bw = max_bandwidth_pct_base t in
+  let next_checkpoint = ref (start +. t.cfg.interval_ms) in
+  let checkpoints = ref 0 in
+  let stop ~failed:_ =
+    while t.now >= !next_checkpoint do
+      let transferred = bytes_transferred_by t ~upto:!next_checkpoint in
+      let elapsed = !next_checkpoint -. start in
+      let pct = 100. *. transferred /. elapsed /. max_bw in
+      Stats.Series.add series pct;
+      incr checkpoints;
+      next_checkpoint := !next_checkpoint +. t.cfg.interval_ms
+    done;
+    (!checkpoints > t.cfg.warmup_checkpoints + t.cfg.stable_windows
+    && Stats.Series.is_stable series)
+    || t.now -. start >= t.cfg.max_measure_ms
+  in
+  run_events t ~mode ~stop;
+  let transferred = bytes_transferred_by t ~upto:t.now in
+  let measured = Float.max (t.now -. start) 1. in
+  let rate = transferred /. measured in
+  {
+    pct_of_max = 100. *. rate /. max_bw;
+    bytes_per_ms = rate;
+    measured_ms = measured;
+    checkpoints = !checkpoints;
+    stabilized =
+      !checkpoints > t.cfg.warmup_checkpoints + t.cfg.stable_windows
+      && Stats.Series.is_stable series;
+    io_ops = t.io_ops - io_at_start;
+    disk_fulls = t.disk_fulls - fulls_at_start;
+    utilization = Volume.utilization t.volume;
+    mean_extents_per_file = Volume.mean_extents_per_file t.volume;
+    meta_bytes = t.meta_bytes - meta_at_start;
+  }
+
+let run_application_test t = run_measured t ~mode:Full_mix
+
+let run_sequential_test t =
+  seed_events t;
+  run_measured t ~mode:Whole_file_rw

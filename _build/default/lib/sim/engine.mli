@@ -1,0 +1,104 @@
+(** The event-driven stochastic workload simulator (Section 2).
+
+    One engine owns a disk array, a volume (allocation policy) and a
+    workload.  Events — one per simulated user — live in a heap keyed on
+    scheduled time; processing an event selects an operation from its
+    file type's read/write/extend/deallocate mix, performs it against the
+    allocator and the disk system, and reschedules the event at the
+    operation's completion plus an exponentially distributed think time
+    (Table 2's process time).
+
+    Tests, mirroring Section 3:
+    {ul
+    {- {!run_allocation_test}: only extend / truncate / delete (with
+       re-creation) operations, no disk timing; ends at the first
+       allocation failure and reports internal / external fragmentation.}
+    {- {!fill_to_lower_bound}: the same allocation-only churn, with the
+       utilization governor active, until the disk reaches the lower
+       utilization bound N (or allocation failures show it cannot get
+       closer — high-fragmentation policies plateau below N, in which
+       case measurement simply starts at the plateau).}
+    {- {!run_application_test}: the full operation mix with disk timing;
+       extends above the upper bound M convert to truncates; runs until
+       the cumulative throughput at three consecutive 10-second
+       checkpoints agrees within 0.1 percentage points, or the time cap.}
+    {- {!run_sequential_test}: whole-file reads and writes only, in the
+       type's read:write proportion.}}
+
+    Throughput is reported as a percentage of the array's maximum
+    sequential bandwidth, the paper's metric. *)
+
+type config = {
+  seed : int;
+  disks : int;
+  stripe_unit_bytes : int;
+  array_config : int -> Rofs_disk.Array_model.config;
+      (** array layout from the stripe unit; default builds [Striped] *)
+  lower_bound : float;  (** N: utilization reached before measuring (0.90) *)
+  upper_bound : float;  (** M: utilization cap during measurement (0.95) *)
+  interval_ms : float;  (** throughput checkpoint spacing (10 s) *)
+  stable_windows : int;  (** checkpoints that must agree (3) *)
+  tolerance_pct : float;  (** agreement tolerance, percentage points (0.1) *)
+  max_measure_ms : float;  (** cap on measured simulated time per test *)
+  max_alloc_ops : int;  (** safety cap for allocation-only phases *)
+  readahead_factor : int;
+      (** read-ahead / write-behind multiplier for sequentially scanned
+          files: the engine transfers this many bursts per disk visit and
+          serves the intervening bursts from memory — the paper's
+          "read ahead and write behind are used to achieve full stripe
+          reads and writes" (via [STON89]).  1 disables it. *)
+  warmup_checkpoints : int;
+      (** checkpoints discarded before the stabilization rule may fire,
+          so a lucky early coincidence does not end a test *)
+  metadata_io : bool;
+      (** charge a one-unit metadata write (to the file's descriptor
+          location) for every extent the allocator creates — the paper's
+          introduction criticizes fixed-block systems for "excessive
+          amounts of meta data", and this makes that bandwidth visible.
+          Off by default: the paper's own evaluation excludes it. *)
+}
+
+val default_config : config
+(** Paper defaults: 8 disks, 24K (one-track) stripe unit, N=0.90,
+    M=0.95, 10-second checkpoints, 3 windows at 0.1, 15-minute simulated
+    cap, 5M-op allocation cap, 4-burst read-ahead. *)
+
+type alloc_report = {
+  internal_frag : float;  (** fraction of allocated space unused *)
+  external_frag : float;  (** fraction of total space free at failure *)
+  alloc_ops : int;
+  utilization_at_end : float;
+  failed : bool;  (** false if the op cap was hit before any failure *)
+}
+
+type throughput_report = {
+  pct_of_max : float;  (** cumulative throughput, % of max bandwidth *)
+  bytes_per_ms : float;
+  measured_ms : float;
+  checkpoints : int;
+  stabilized : bool;
+  io_ops : int;
+  disk_fulls : int;
+  utilization : float;
+  mean_extents_per_file : float;
+  meta_bytes : int;  (** metadata traffic charged (0 unless [metadata_io]) *)
+}
+
+type t
+
+val create : config -> policy:Rofs_alloc.Policy.t -> workload:Rofs_workload.Workload.t -> t
+(** Builds the array, volume and user events, and runs the two-phase
+    initialization: events get start times uniform on
+    [0, users * hit_frequency]; files are created at their drawn initial
+    sizes.  Raises [Failure] if the initial population does not fit. *)
+
+val volume : t -> Volume.t
+val array_model : t -> Rofs_disk.Array_model.t
+val now_ms : t -> float
+val max_bandwidth_pct_base : t -> float
+(** Bytes/ms corresponding to 100%. *)
+
+val run_allocation_test : t -> alloc_report
+val fill_to_lower_bound : t -> unit
+val run_application_test : t -> throughput_report
+val run_sequential_test : t -> throughput_report

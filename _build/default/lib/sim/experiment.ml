@@ -1,0 +1,71 @@
+module Alloc = Rofs_alloc
+module Array_model = Rofs_disk.Array_model
+
+type policy_spec =
+  | Buddy of Alloc.Buddy.config
+  | Restricted of Alloc.Restricted_buddy.config
+  | Extent of Alloc.Extent_alloc.config
+  | Fixed of Alloc.Fixed_block.config
+  | Log_structured of Alloc.Log_structured.config
+
+let spec_unit_bytes = function
+  | Buddy c -> c.Alloc.Buddy.unit_bytes
+  | Restricted c -> c.Alloc.Restricted_buddy.unit_bytes
+  | Extent c -> c.Alloc.Extent_alloc.unit_bytes
+  | Fixed c -> c.Alloc.Fixed_block.unit_bytes
+  | Log_structured c -> c.Alloc.Log_structured.unit_bytes
+
+let capacity_units (config : Engine.config) ~unit_bytes =
+  let array =
+    Array_model.create ~disks:config.Engine.disks
+      (config.Engine.array_config config.Engine.stripe_unit_bytes)
+  in
+  Array_model.capacity_bytes array / unit_bytes
+
+let build_policy spec ~total_units ~rng =
+  match spec with
+  | Buddy c -> Alloc.Buddy.create c ~total_units
+  | Restricted c -> Alloc.Restricted_buddy.create c ~total_units
+  | Extent c -> Alloc.Extent_alloc.create c ~total_units ~rng
+  | Fixed c -> Alloc.Fixed_block.create c ~total_units ~rng
+  | Log_structured c -> Alloc.Log_structured.create c ~total_units
+
+let make_engine ?(config = Engine.default_config) spec workload =
+  let unit_bytes = spec_unit_bytes spec in
+  let total_units = capacity_units config ~unit_bytes in
+  (* A seed distinct from the engine's keeps policy-internal draws
+     (extent sizes, free-list aging) decoupled from event scheduling. *)
+  let rng = Rofs_util.Rng.create ~seed:(config.Engine.seed + 0x5eed) in
+  let policy = build_policy spec ~total_units ~rng in
+  Engine.create config ~policy ~workload
+
+let run_allocation ?config spec workload =
+  let engine = make_engine ?config spec workload in
+  Engine.run_allocation_test engine
+
+let run_throughput ?config spec workload =
+  let engine = make_engine ?config spec workload in
+  Engine.fill_to_lower_bound engine;
+  let application = Engine.run_application_test engine in
+  let sequential = Engine.run_sequential_test engine in
+  (application, sequential)
+
+type summary = { mean : float; stddev : float; runs : int }
+
+let run_throughput_seeds ?(config = Engine.default_config) ~seeds spec workload =
+  if seeds = [] then invalid_arg "Experiment.run_throughput_seeds: no seeds";
+  let app_stats = Rofs_util.Stats.create () and seq_stats = Rofs_util.Stats.create () in
+  List.iter
+    (fun seed ->
+      let app, seq = run_throughput ~config:{ config with Engine.seed } spec workload in
+      Rofs_util.Stats.add app_stats app.Engine.pct_of_max;
+      Rofs_util.Stats.add seq_stats seq.Engine.pct_of_max)
+    seeds;
+  let summarize stats =
+    {
+      mean = Rofs_util.Stats.mean stats;
+      stddev = Rofs_util.Stats.stddev stats;
+      runs = Rofs_util.Stats.count stats;
+    }
+  in
+  (summarize app_stats, summarize seq_stats)

@@ -1,0 +1,52 @@
+(** Ready-made experiment plumbing: build a policy, size it to the
+    array, and run the paper's three tests.
+
+    The throughput pair mirrors Section 3's protocol: one system is
+    initialized and filled to the lower utilization bound, the
+    application-performance test runs to stabilization, and the
+    sequential test then runs {e on the same aged system}. *)
+
+type policy_spec =
+  | Buddy of Rofs_alloc.Buddy.config
+  | Restricted of Rofs_alloc.Restricted_buddy.config
+  | Extent of Rofs_alloc.Extent_alloc.config
+  | Fixed of Rofs_alloc.Fixed_block.config
+  | Log_structured of Rofs_alloc.Log_structured.config
+      (** the Section 6 extension; see {!Rofs_alloc.Log_structured} *)
+
+val spec_unit_bytes : policy_spec -> int
+
+val capacity_units : Engine.config -> unit_bytes:int -> int
+(** Data capacity of the array the engine config describes, in units. *)
+
+val build_policy :
+  policy_spec -> total_units:int -> rng:Rofs_util.Rng.t -> Rofs_alloc.Policy.t
+
+val make_engine :
+  ?config:Engine.config -> policy_spec -> Rofs_workload.Workload.t -> Engine.t
+(** Build array + policy + engine and run initialization. *)
+
+val run_allocation :
+  ?config:Engine.config -> policy_spec -> Rofs_workload.Workload.t -> Engine.alloc_report
+(** The fragmentation (allocation) test of Section 3. *)
+
+val run_throughput :
+  ?config:Engine.config ->
+  policy_spec ->
+  Rofs_workload.Workload.t ->
+  Engine.throughput_report * Engine.throughput_report
+(** Fill to N, then (application report, sequential report). *)
+
+type summary = { mean : float; stddev : float; runs : int }
+(** Aggregate of one metric over repeated runs. *)
+
+val run_throughput_seeds :
+  ?config:Engine.config ->
+  seeds:int list ->
+  policy_spec ->
+  Rofs_workload.Workload.t ->
+  summary * summary
+(** Repeat the throughput pair once per seed and summarize the
+    application and sequential percentages — mean and (unbiased) sample
+    deviation.  Useful for stating how sensitive a configuration's
+    numbers are to the stochastic draws. *)

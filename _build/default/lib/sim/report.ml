@@ -1,0 +1,27 @@
+let mb_per_s bytes_per_ms = bytes_per_ms *. 1000. /. (1024. *. 1024.)
+
+let pp_alloc ppf (r : Engine.alloc_report) =
+  Format.fprintf ppf "internal %.1f%%, external %.1f%% (%d ops, util %.1f%%, %s)"
+    (100. *. r.Engine.internal_frag)
+    (100. *. r.Engine.external_frag)
+    r.Engine.alloc_ops
+    (100. *. r.Engine.utilization_at_end)
+    (if r.Engine.failed then "failed as expected" else "op cap reached")
+
+let pp_throughput ppf (r : Engine.throughput_report) =
+  Format.fprintf ppf "%.1f%% of max (%.2f MB/s, %d I/Os, %s)" r.Engine.pct_of_max
+    (mb_per_s r.Engine.bytes_per_ms)
+    r.Engine.io_ops
+    (if r.Engine.stabilized then "stabilized" else "time-capped")
+
+let alloc_to_string r = Format.asprintf "%a" pp_alloc r
+let throughput_to_string r = Format.asprintf "%a" pp_throughput r
+
+let summary ~workload ~policy ~alloc ~application ~sequential =
+  let buffer = Buffer.create 128 in
+  Buffer.add_string buffer (Printf.sprintf "%s on %s\n" policy workload);
+  let line label value = Buffer.add_string buffer (Printf.sprintf "  %-12s %s\n" label value) in
+  Option.iter (fun r -> line "allocation" (alloc_to_string r)) alloc;
+  Option.iter (fun r -> line "application" (throughput_to_string r)) application;
+  Option.iter (fun r -> line "sequential" (throughput_to_string r)) sequential;
+  Buffer.contents buffer

@@ -1,0 +1,25 @@
+(** Human-readable rendering of experiment reports.
+
+    One place for the formatting used by the CLI, the examples and the
+    bench harness: percentages of maximum throughput, MB/s conversions
+    and compact one-line summaries. *)
+
+val mb_per_s : float -> float
+(** Convert the engine's bytes/ms to binary MB/s. *)
+
+val pp_alloc : Format.formatter -> Engine.alloc_report -> unit
+(** e.g. ["internal 15.9%, external 4.0% (1837 ops, util 99.3%, failed)"]. *)
+
+val pp_throughput : Format.formatter -> Engine.throughput_report -> unit
+(** e.g. ["83.4% of max (9.05 MB/s, 1350 I/Os, stabilized)"]. *)
+
+val alloc_to_string : Engine.alloc_report -> string
+val throughput_to_string : Engine.throughput_report -> string
+
+val summary :
+  workload:string -> policy:string ->
+  alloc:Engine.alloc_report option ->
+  application:Engine.throughput_report option ->
+  sequential:Engine.throughput_report option ->
+  string
+(** Multi-line block with one labelled line per available report. *)

@@ -1,0 +1,95 @@
+module Array_model = Rofs_disk.Array_model
+module Trace = Rofs_workload.Trace
+
+type report = {
+  pct_of_max : float;
+  bytes_moved : int;
+  elapsed_ms : float;
+  io_ops : int;
+  alloc_failures : int;
+  internal_frag : float;
+  utilization : float;
+}
+
+let run ?(config = Engine.default_config) spec trace =
+  (match Trace.validate trace with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Trace_runner.run: " ^ msg));
+  let unit_bytes = Experiment.spec_unit_bytes spec in
+  let total_units = Experiment.capacity_units config ~unit_bytes in
+  let rng = Rofs_util.Rng.create ~seed:(config.Engine.seed + 0x77ace) in
+  let policy = Experiment.build_policy spec ~total_units ~rng in
+  let array =
+    Array_model.create ~seed:config.Engine.seed ~disks:config.Engine.disks
+      (config.Engine.array_config config.Engine.stripe_unit_bytes)
+  in
+  let volume = Volume.create policy ~ntypes:1 in
+  (* Trace file ids -> volume file ids. *)
+  let ids : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let alloc_failures = ref 0 in
+  let create tid bytes hint =
+    let vid = Volume.create_file volume ~type_idx:0 ~hint_bytes:hint in
+    Hashtbl.replace ids tid vid;
+    match Volume.grow volume ~file:vid ~bytes with
+    | Ok () -> ()
+    | Error `Disk_full -> incr alloc_failures
+  in
+  List.iter (fun (tid, bytes, hint) -> create tid bytes hint) trace.Trace.initial;
+  let io_ops = ref 0 in
+  let bytes_moved = ref 0 in
+  let last_completion = ref 0. in
+  let transfer ~now ~kind vid ~off ~len =
+    let logical = Volume.logical_bytes volume ~file:vid in
+    if logical > 0 && off < logical && len > 0 then begin
+      let len = min len (logical - off) in
+      let extents = Volume.slice_bytes volume ~file:vid ~off ~len in
+      if extents <> [] then begin
+        let finish = Array_model.access array ~now ~kind ~extents in
+        incr io_ops;
+        bytes_moved := !bytes_moved + List.fold_left (fun a (_, l) -> a + l) 0 extents;
+        if finish > !last_completion then last_completion := finish
+      end
+    end
+  in
+  let apply (e : Trace.event) =
+    let now = e.Trace.time_ms in
+    if now > !last_completion then last_completion := now;
+    match e.Trace.op with
+    | Trace.Create { bytes; hint } -> create e.Trace.file bytes hint
+    | op -> begin
+        match Hashtbl.find_opt ids e.Trace.file with
+        | None -> ()
+        | Some vid -> begin
+            match op with
+            | Trace.Read { off; bytes } -> transfer ~now ~kind:Array_model.Read vid ~off ~len:bytes
+            | Trace.Write { off; bytes } ->
+                transfer ~now ~kind:Array_model.Write vid ~off ~len:bytes
+            | Trace.Extend bytes -> begin
+                let old_logical = Volume.logical_bytes volume ~file:vid in
+                match Volume.grow volume ~file:vid ~bytes with
+                | Ok () -> transfer ~now ~kind:Array_model.Write vid ~off:old_logical ~len:bytes
+                | Error `Disk_full -> incr alloc_failures
+              end
+            | Trace.Truncate bytes -> Volume.truncate volume ~file:vid ~bytes
+            | Trace.Delete ->
+                Volume.delete volume ~file:vid;
+                Hashtbl.remove ids e.Trace.file
+            | Trace.Create _ -> assert false
+          end
+      end
+  in
+  List.iter apply trace.Trace.events;
+  let first_time =
+    match trace.Trace.events with [] -> 0. | e :: _ -> e.Trace.time_ms
+  in
+  let elapsed = Float.max (!last_completion -. first_time) 1. in
+  let rate = float_of_int !bytes_moved /. elapsed in
+  {
+    pct_of_max = 100. *. rate /. Array_model.max_bandwidth_bytes_per_ms array;
+    bytes_moved = !bytes_moved;
+    elapsed_ms = elapsed;
+    io_ops = !io_ops;
+    alloc_failures = !alloc_failures;
+    internal_frag = Volume.internal_fragmentation volume;
+    utilization = Volume.utilization volume;
+  }

@@ -1,0 +1,26 @@
+(** Replay an operation trace against an allocation policy on the
+    simulated array.
+
+    Where {!Engine} drives the stochastic workload model, this runner
+    takes a concrete {!Rofs_workload.Trace.t} — synthesized or captured
+    from a genuine system — and applies its events at their recorded
+    times, measuring the same throughput metric.  Because the trace
+    pins every operation, two policies replay {e exactly} the same
+    request stream, which is the paper's "genuine workloads" endgame. *)
+
+type report = {
+  pct_of_max : float;  (** bytes moved / elapsed, % of array maximum *)
+  bytes_moved : int;
+  elapsed_ms : float;  (** last completion minus first event time *)
+  io_ops : int;
+  alloc_failures : int;  (** extends/creates refused with disk full *)
+  internal_frag : float;  (** at end of replay *)
+  utilization : float;
+}
+
+val run :
+  ?config:Engine.config -> Experiment.policy_spec -> Rofs_workload.Trace.t -> report
+(** Build a fresh policy + array (per [config]), create the trace's
+    initial population, then apply every event.  Reads and writes of
+    files that no longer exist (or zero-length ranges) are skipped, as
+    on a real system replaying a stale trace. *)

@@ -1,0 +1,1 @@
+lib/util/free_tree.mli:

@@ -1,0 +1,75 @@
+type t = { bits : Bytes.t; length : int; mutable cardinal : int }
+
+let create n =
+  assert (n >= 0);
+  { bits = Bytes.make ((n + 7) / 8) '\000'; length = n; cardinal = 0 }
+
+let length t = t.length
+
+let check t i = if i < 0 || i >= t.length then invalid_arg "Bitset: index out of bounds"
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t i =
+  check t i;
+  let byte = Char.code (Bytes.get t.bits (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  if byte land mask = 0 then begin
+    Bytes.set t.bits (i lsr 3) (Char.chr (byte lor mask));
+    t.cardinal <- t.cardinal + 1
+  end
+
+let clear t i =
+  check t i;
+  let byte = Char.code (Bytes.get t.bits (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  if byte land mask <> 0 then begin
+    Bytes.set t.bits (i lsr 3) (Char.chr (byte land lnot mask));
+    t.cardinal <- t.cardinal - 1
+  end
+
+let cardinal t = t.cardinal
+
+let first_set_from t i =
+  if i >= t.length then None
+  else begin
+    let i = max i 0 in
+    let nbytes = Bytes.length t.bits in
+    let rec scan_byte b =
+      if b >= nbytes then None
+      else
+        let byte = Char.code (Bytes.get t.bits b) in
+        if byte = 0 then scan_byte (b + 1)
+        else begin
+          (* First byte may need masking of bits below [i]. *)
+          let base = b lsl 3 in
+          let rec scan_bit k =
+            if k > 7 then scan_byte (b + 1)
+            else
+              let idx = base + k in
+              if idx >= t.length then None
+              else if idx >= i && byte land (1 lsl k) <> 0 then Some idx
+              else scan_bit (k + 1)
+          in
+          scan_bit 0
+        end
+    in
+    scan_byte (i lsr 3)
+  end
+
+let first_set_in t ~lo ~hi =
+  match first_set_from t lo with
+  | Some i when i < hi -> Some i
+  | Some _ | None -> None
+
+let iter_set t f =
+  let rec go i =
+    match first_set_from t i with
+    | None -> ()
+    | Some j ->
+        f j;
+        go (j + 1)
+  in
+  go 0

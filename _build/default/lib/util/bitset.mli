@@ -1,0 +1,29 @@
+(** Dense fixed-size bitset.
+
+    The restricted buddy allocator records the free/used state of every
+    maximum-sized block in a bitmap (Section 4.2: "a bit map is used to
+    record the state of every maximum sized block in the system").  Bits
+    are indexed from [0]; a set bit means {e free}. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a bitset of [n] bits, all clear. *)
+
+val length : t -> int
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val mem : t -> int -> bool
+
+val cardinal : t -> int
+(** Number of set bits (maintained incrementally, O(1)). *)
+
+val first_set_from : t -> int -> int option
+(** [first_set_from t i] is the smallest set index [>= i], scanning
+    word-at-a-time, or [None]. *)
+
+val first_set_in : t -> lo:int -> hi:int -> int option
+(** Smallest set index in [\[lo, hi)], or [None]. *)
+
+val iter_set : t -> (int -> unit) -> unit
+(** Apply to every set index in increasing order. *)

@@ -1,0 +1,76 @@
+(* Classic array-backed binary heap.  The array stores (priority, value)
+   pairs; slot 0 is the root.  [size] tracks the live prefix so that pops
+   do not shrink the backing store. *)
+
+type 'a entry = { prio : float; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let grow t entry =
+  let capacity = Array.length t.data in
+  if t.size = capacity then begin
+    let fresh = Array.make (max 16 (2 * capacity)) entry in
+    Array.blit t.data 0 fresh 0 t.size;
+    t.data <- fresh
+  end
+
+let rec sift_up data i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if data.(i).prio < data.(parent).prio then begin
+      let tmp = data.(i) in
+      data.(i) <- data.(parent);
+      data.(parent) <- tmp;
+      sift_up data parent
+    end
+  end
+
+let rec sift_down data size i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = if left < size && data.(left).prio < data.(i).prio then left else i in
+  let smallest =
+    if right < size && data.(right).prio < data.(smallest).prio then right else smallest
+  in
+  if smallest <> i then begin
+    let tmp = data.(i) in
+    data.(i) <- data.(smallest);
+    data.(smallest) <- tmp;
+    sift_down data size smallest
+  end
+
+let push t ~prio value =
+  let entry = { prio; value } in
+  grow t entry;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t.data (t.size - 1)
+
+let peek t = if t.size = 0 then None else Some (t.data.(0).prio, t.data.(0).value)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let root = t.data.(0) in
+    t.size <- t.size - 1;
+    t.data.(0) <- t.data.(t.size);
+    if t.size > 0 then sift_down t.data t.size 0;
+    Some (root.prio, root.value)
+  end
+
+let clear t = t.size <- 0
+
+let to_sorted_list t =
+  let copy = { data = Array.sub t.data 0 t.size; size = t.size } in
+  let rec drain acc =
+    match pop copy with
+    | None -> List.rev acc
+    | Some pair -> drain (pair :: acc)
+  in
+  drain []

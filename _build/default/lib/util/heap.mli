@@ -1,0 +1,30 @@
+(** Binary min-heap keyed on a float priority.
+
+    This is the event heap of the simulation model (Section 2.2 of the
+    paper): events are kept "in a heap, sorted by their scheduled time".
+    Elements with equal priority are returned in unspecified order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Fresh empty heap. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> prio:float -> 'a -> unit
+(** Insert an element with the given priority. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority element, or [None] when
+    empty. *)
+
+val peek : 'a t -> (float * 'a) option
+(** The minimum-priority element without removing it. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> (float * 'a) list
+(** Non-destructive drain, in priority order; intended for tests and
+    debugging (costs O(n log n)). *)

@@ -1,0 +1,64 @@
+type t = { header : string list; mutable rows : string list list (* newest first *) }
+
+let create ~header = { header; rows = [] }
+
+let add_row t row =
+  let width = List.length t.header in
+  let actual = List.length row in
+  if actual > width then invalid_arg "Table.add_row: more cells than columns";
+  let padded = row @ List.init (width - actual) (fun _ -> "") in
+  t.rows <- padded :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let ncols = List.length t.header in
+  let widths = Array.make ncols 0 in
+  let measure row = List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row in
+  List.iter measure all;
+  let buffer = Buffer.create 256 in
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        let pad = widths.(i) - String.length cell in
+        if i > 0 then Buffer.add_string buffer "  ";
+        if i = 0 then begin
+          Buffer.add_string buffer cell;
+          Buffer.add_string buffer (String.make pad ' ')
+        end
+        else begin
+          Buffer.add_string buffer (String.make pad ' ');
+          Buffer.add_string buffer cell
+        end)
+      row;
+    Buffer.add_char buffer '\n'
+  in
+  emit_row t.header;
+  let rule = Array.fold_left (fun acc w -> acc + w) 0 widths + (2 * (ncols - 1)) in
+  Buffer.add_string buffer (String.make rule '-');
+  Buffer.add_char buffer '\n';
+  List.iter emit_row rows;
+  Buffer.contents buffer
+
+let csv_cell cell =
+  let needs_quoting = String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell in
+  if needs_quoting then begin
+    let escaped =
+      String.concat "\"\"" (String.split_on_char '"' cell)
+    in
+    "\"" ^ escaped ^ "\""
+  end
+  else cell
+
+let to_csv t =
+  let row cells = String.concat "," (List.map csv_cell cells) in
+  String.concat "\n" (row t.header :: List.rev_map row t.rows) ^ "\n"
+
+let print ?title t =
+  (match title with
+  | Some s ->
+      print_newline ();
+      print_endline s;
+      print_endline (String.make (String.length s) '=')
+  | None -> ());
+  print_string (render t)

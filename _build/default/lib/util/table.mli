@@ -1,0 +1,25 @@
+(** Minimal aligned text tables for experiment reports.
+
+    The bench harness prints each reproduced paper table/figure as an
+    ASCII table; this keeps that rendering in one place. *)
+
+type t
+
+val create : header:string list -> t
+(** A table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  Rows shorter than the header are padded with empty
+    cells; longer rows raise [Invalid_argument]. *)
+
+val render : t -> string
+(** The table as a string with a title row, a separator and aligned
+    columns (left-aligned first column, right-aligned others). *)
+
+val print : ?title:string -> t -> unit
+(** [print ?title t] writes [t] (preceded by [title] underlined, when
+    given) to stdout. *)
+
+val to_csv : t -> string
+(** RFC-4180-ish CSV: header row first, cells quoted when they contain
+    commas, quotes or newlines. *)

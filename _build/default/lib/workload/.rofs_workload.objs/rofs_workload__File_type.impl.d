@@ -1,0 +1,1 @@
+lib/workload/file_type.ml: Format List Printf Rofs_util

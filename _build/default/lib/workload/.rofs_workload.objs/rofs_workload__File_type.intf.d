@@ -1,0 +1,1 @@
+lib/workload/file_type.mli: Format Rofs_util

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Array Buffer File_type Float Hashtbl List Printf Rofs_util String Workload

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: File_type Float List String

@@ -1,0 +1,55 @@
+(** Trace-driven workloads.
+
+    The paper closes with "applying the allocation policies to genuine
+    workloads will yield a much more convincing argument".  This module
+    defines a portable operation-trace format so genuine (or synthetic)
+    traces can be replayed against any allocation policy, plus a
+    synthesizer that renders the stochastic workload model into a
+    concrete trace.
+
+    A trace is an initial file population and a time-ordered list of
+    operations against those files.  The on-disk format is line-based
+    and diff-friendly:
+
+    {v
+    # rofs-trace v1 <name>
+    file <id> <bytes> <hint-bytes>
+    ev <time-ms> <read|write|extend|truncate|delete|create> <file-id> <bytes> <offset|- >
+    v} *)
+
+type op =
+  | Read of { off : int; bytes : int }
+  | Write of { off : int; bytes : int }
+  | Extend of int  (** bytes appended *)
+  | Truncate of int  (** bytes removed from the end *)
+  | Delete
+  | Create of { bytes : int; hint : int }
+      (** (re)create this file id at the given size *)
+
+type event = { time_ms : float; file : int; op : op }
+
+type t = {
+  name : string;
+  initial : (int * int * int) list;  (** (file id, bytes, allocation hint) *)
+  events : event list;  (** non-decreasing [time_ms] *)
+}
+
+val validate : t -> (unit, string) result
+(** Check time ordering, id sanity and non-negative sizes. *)
+
+val synthesize :
+  workload:Workload.t -> duration_ms:float -> seed:int -> t
+(** Render the stochastic model into a trace: the initial population of
+    [workload] plus [duration_ms] of its users' operations (think
+    times, op mix, sizes and access patterns all follow Table 2).
+    Deterministic in [seed]. *)
+
+val save : t -> string
+(** Serialize to the textual format above. *)
+
+val load : string -> (t, string) result
+(** Parse the textual format; returns a descriptive error with the
+    offending line number on failure. *)
+
+val event_count : t -> int
+val duration_ms : t -> float

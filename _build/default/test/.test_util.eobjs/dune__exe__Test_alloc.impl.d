@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Core Float Gen List QCheck QCheck_alcotest

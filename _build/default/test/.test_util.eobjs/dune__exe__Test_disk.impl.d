@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Array Core Float Fun List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Core Float List Printf String

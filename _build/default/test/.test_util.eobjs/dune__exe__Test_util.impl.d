@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Core Float Gen Hashtbl List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Core Float Format Hashtbl List Option Printf String
