@@ -19,6 +19,7 @@ let benches =
     ("table4", "average extents per file", Bench_table4.run);
     ("fig6", "comparative policy performance", Bench_fig6.run);
     ("ablation", "stripe-unit and RAID ablations (Section 6)", Bench_ablation.run);
+    ("sched", "per-drive I/O scheduler ablation", Bench_sched.run);
     ("extension", "log-structured allocation extension (Section 6)", Bench_extension.run);
     ("micro", "allocator micro-benchmarks (Bechamel)", Bench_micro.run);
   ]

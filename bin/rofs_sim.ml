@@ -29,7 +29,8 @@ let build_spec ~policy ~sizes ~grow ~clustered ~fit ~ranges ~block ~workload =
   | "lfs" -> C.Experiment.Log_structured (C.Log_structured.config ())
   | other -> invalid_arg (Printf.sprintf "unknown policy %S" other)
 
-let run policy sizes grow unclustered fit ranges block workload_name test seed readahead =
+let run policy sizes grow unclustered fit ranges block workload_name test seed readahead scheduler
+    =
   match C.Workload.by_name workload_name with
   | None ->
       Printf.eprintf "unknown workload %S (expected ts, tp or sc)\n" workload_name;
@@ -39,8 +40,10 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed r
         build_spec ~policy ~sizes ~grow ~clustered:(not unclustered) ~fit ~ranges ~block
           ~workload
       in
-      let config = { C.Engine.default_config with seed; readahead_factor = readahead } in
-      Printf.printf "seed=%d\n%!" seed;
+      let config =
+        { C.Engine.default_config with seed; readahead_factor = readahead; scheduler }
+      in
+      Printf.printf "seed=%d scheduler=%s\n%!" seed (C.Sched_policy.name scheduler);
       let alloc =
         if test = All || test = Alloc then Some (C.Experiment.run_allocation ~config spec workload)
         else None
@@ -101,12 +104,26 @@ let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed."
 let readahead_arg =
   Arg.(value & opt int 4 & info [ "readahead" ] ~doc:"Read-ahead factor for sequential scans.")
 
+let scheduler_arg =
+  let sched_conv =
+    Arg.conv
+      ( (fun s ->
+          match C.Sched_policy.of_string s with
+          | Some p -> Ok p
+          | None -> Error (`Msg (Printf.sprintf "unknown scheduler %S" s))),
+        C.Sched_policy.pp )
+  in
+  Arg.(
+    value
+    & opt sched_conv C.Sched_policy.Fcfs
+    & info [ "scheduler" ] ~doc:"Per-drive request scheduler: fcfs | sstf | scan | clook.")
+
 let cmd =
   let doc = "simulate read-optimized file system allocation policies (Seltzer & Stonebraker 1991)" in
   Cmd.v
     (Cmd.info "rofs_sim" ~version:C.version ~doc)
     Term.(
       const run $ policy_arg $ sizes_arg $ grow_arg $ unclustered_arg $ fit_arg $ ranges_arg
-      $ block_arg $ workload_arg $ test_arg $ seed_arg $ readahead_arg)
+      $ block_arg $ workload_arg $ test_arg $ seed_arg $ readahead_arg $ scheduler_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -40,6 +40,15 @@ module Geometry = Rofs_disk.Geometry
 module Drive = Rofs_disk.Drive
 module Array_model = Rofs_disk.Array_model
 
+(** {1 Scheduling}
+
+    Per-drive request schedulers used by the array's dispatch-queue
+    path: FCFS (the default, equivalent to the original busy-clock
+    model), SSTF, SCAN and C-LOOK. *)
+
+module Sched_policy = Rofs_sched.Policy
+module Scheduler = Rofs_sched.Scheduler
+
 (** {1 Allocation policies} *)
 
 module Extent = Rofs_alloc.Extent

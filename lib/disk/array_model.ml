@@ -1,3 +1,6 @@
+module Sched_policy = Rofs_sched.Policy
+module Squeue = Rofs_sched.Scheduler.Queue
+
 type config =
   | Striped of { stripe_unit : int }
   | Mirrored of { stripe_unit : int }
@@ -5,6 +8,27 @@ type config =
   | Parity_striped
 
 type kind = Read | Write
+
+(* One logical operation submitted through the dispatch-queue path: a
+   set of per-drive chunk requests that complete independently. *)
+type op = {
+  op_id : int;
+  submitted : float;
+  mutable chunks_left : int;
+  mutable began : float;  (** earliest dispatch start; [infinity] until one runs *)
+  mutable last_finish : float;
+}
+
+(* One chunk pending on (or in service at) a drive. *)
+type req = {
+  r_op : op;
+  r_offset : int;
+  r_bytes : int;
+  r_parity : bool;
+  r_passes : int;
+  mutable r_start : float;
+  mutable r_finish : float;
+}
 
 type t = {
   config : config;
@@ -14,9 +38,13 @@ type t = {
   per_drive_sustained : float;  (** sequential rate of the slowest drive *)
   rng : Rofs_util.Rng.t;
   mutable bytes_moved : int;
+  scheduler : Sched_policy.t;
+  queues : req Squeue.t array;  (** pending requests, one dispatch queue per drive *)
+  in_service : req option array;  (** the request each drive is currently moving *)
+  mutable next_op_id : int;
 }
 
-let create_mixed ?(seed = 0) ~geometries config =
+let create_mixed ?(seed = 0) ?(scheduler = Sched_policy.Fcfs) ~geometries config =
   let disks = List.length geometries in
   if disks <= 0 then invalid_arg "Array_model.create: need at least one disk";
   List.iter
@@ -43,15 +71,20 @@ let create_mixed ?(seed = 0) ~geometries config =
     per_drive_sustained = fold (fun acc g -> Float.min acc (Geometry.sustained_bytes_per_ms g)) infinity;
     rng = Rofs_util.Rng.create ~seed;
     bytes_moved = 0;
+    scheduler;
+    queues = Array.init disks (fun _ -> Squeue.create scheduler);
+    in_service = Array.make disks None;
+    next_op_id = 0;
   }
 
-let create ?(geometry = Geometry.cdc_wren_iv) ?seed ~disks config =
+let create ?(geometry = Geometry.cdc_wren_iv) ?seed ?scheduler ~disks config =
   if disks <= 0 then invalid_arg "Array_model.create: need at least one disk";
-  create_mixed ?seed ~geometries:(List.init disks (fun _ -> geometry)) config
+  create_mixed ?seed ?scheduler ~geometries:(List.init disks (fun _ -> geometry)) config
 
 let config t = t.config
 let disks t = Array.length t.drives
 let geometry t = t.geometry
+let scheduler t = t.scheduler
 
 let drive_capacity t = t.drive_capacity
 
@@ -103,7 +136,11 @@ let map_striped ~stripe ~place (addr, len) =
   in
   go addr len []
 
-let chunks_of_extent t ~kind (addr, len) =
+(* Queued + in-service depth of one drive's dispatch queue. *)
+let load t d =
+  Squeue.length t.queues.(d) + (match t.in_service.(d) with Some _ -> 1 | None -> 0)
+
+let chunks_of_extent ?(queued = false) t ~kind (addr, len) =
   if len < 0 || addr < 0 || addr + len > capacity_bytes t then
     invalid_arg "Array_model: extent outside the array";
   let n = disks t in
@@ -124,10 +161,13 @@ let chunks_of_extent t ~kind (addr, len) =
         match kind with
         | Read ->
             (* Prefer the arm already streaming this extent; otherwise
-               the shorter queue. *)
+               the shorter queue (dispatch-queue depth when scheduling is
+               queued, the busy clock on the FCFS fast path). *)
             let disk =
               if Drive.next_sequential t.drives.(primary) = offset then primary
               else if Drive.next_sequential t.drives.(secondary) = offset then secondary
+              else if queued && load t primary <> load t secondary then
+                if load t primary < load t secondary then primary else secondary
               else if Drive.busy_until t.drives.(primary) <= Drive.busy_until t.drives.(secondary)
               then primary
               else secondary
@@ -216,6 +256,111 @@ let service t ~now ~kind ~extents =
 
 let access t ~now ~kind ~extents = (service t ~now ~kind ~extents).finished
 
+(* ------------------------------------------------------------------ *)
+(* Dispatch-queue path: requests are queued per drive and the scheduler
+   policy picks which one the arm serves when it falls idle, so a
+   later-arriving request can be reordered ahead of queued ones.  The
+   engine drives this with one completion event per in-service request;
+   the array never looks at a clock of its own. *)
+
+type dispatched = {
+  d_drive : int;
+  d_op_id : int;
+  d_started : float;
+  d_finished : float;
+  d_bytes : int;
+  d_parity : bool;
+}
+
+type completion = { c_op : op; c_op_done : bool }
+
+let op_id (op : op) = op.op_id
+let op_done (op : op) = op.chunks_left = 0
+
+let op_service (op : op) =
+  {
+    began = (if op.began = infinity then op.submitted else op.began);
+    finished = Float.max op.last_finish op.submitted;
+  }
+
+let in_service_finish t ~drive =
+  match t.in_service.(drive) with Some r -> Some r.r_finish | None -> None
+
+(* Start the next pending request on an idle drive, if any. *)
+let dispatch t d ~now =
+  match t.in_service.(d) with
+  | Some _ -> None
+  | None -> begin
+      let drive = t.drives.(d) in
+      match Squeue.take t.queues.(d) ~head:(Drive.head_cylinder drive) with
+      | None -> None
+      | Some (_cyl, req) ->
+          let start = Float.max now (Drive.busy_until drive) in
+          let finish =
+            Drive.serve drive ~start ~rng:t.rng ~offset:req.r_offset ~bytes:req.r_bytes
+              ~passes:req.r_passes
+          in
+          req.r_start <- start;
+          req.r_finish <- finish;
+          if start < req.r_op.began then req.r_op.began <- start;
+          if not req.r_parity then t.bytes_moved <- t.bytes_moved + req.r_bytes;
+          t.in_service.(d) <- Some req;
+          Some
+            {
+              d_drive = d;
+              d_op_id = req.r_op.op_id;
+              d_started = start;
+              d_finished = finish;
+              d_bytes = req.r_bytes;
+              d_parity = req.r_parity;
+            }
+    end
+
+let submit t ~now ~kind ~extents =
+  let chunks = List.concat_map (chunks_of_extent ~queued:true t ~kind) extents in
+  let op =
+    {
+      op_id = t.next_op_id;
+      submitted = now;
+      chunks_left = List.length chunks;
+      began = infinity;
+      last_finish = now;
+    }
+  in
+  t.next_op_id <- t.next_op_id + 1;
+  let touched = ref [] in
+  List.iter
+    (fun c ->
+      let cylinder = Geometry.cylinder_of_offset (Drive.geometry t.drives.(c.disk)) c.offset in
+      let req =
+        {
+          r_op = op;
+          r_offset = c.offset;
+          r_bytes = c.bytes;
+          r_parity = c.parity;
+          r_passes = (if c.rmw then 2 else 1);
+          r_start = now;
+          r_finish = now;
+        }
+      in
+      Squeue.add t.queues.(c.disk) ~cylinder req;
+      if not (List.mem c.disk !touched) then touched := c.disk :: !touched)
+    chunks;
+  (op, List.filter_map (fun d -> dispatch t d ~now) (List.rev !touched))
+
+let complete t ~drive =
+  match t.in_service.(drive) with
+  | None -> invalid_arg "Array_model.complete: drive has nothing in service"
+  | Some req ->
+      t.in_service.(drive) <- None;
+      let op = req.r_op in
+      op.chunks_left <- op.chunks_left - 1;
+      if req.r_finish > op.last_finish then op.last_finish <- req.r_finish;
+      let next = dispatch t drive ~now:req.r_finish in
+      ({ c_op = op; c_op_done = op.chunks_left = 0 }, next)
+
+let pending t ~drive = load t drive
+
 let time_of t ~kind ~extents =
   let geometries = Array.to_list (Array.map Drive.geometry t.drives) in
   let scratch = create_mixed ~seed:0 ~geometries t.config in
@@ -232,6 +377,8 @@ let bytes_moved t = t.bytes_moved
 
 let reset t =
   Array.iter Drive.reset t.drives;
+  Array.iter Squeue.clear t.queues;
+  Array.fill t.in_service 0 (Array.length t.in_service) None;
   t.bytes_moved <- 0
 
 let drive_stats t = Array.map Drive.stats t.drives

@@ -30,12 +30,17 @@ type kind = Read | Write
 
 type t
 
-val create : ?geometry:Geometry.t -> ?seed:int -> disks:int -> config -> t
+val create :
+  ?geometry:Geometry.t -> ?seed:int -> ?scheduler:Rofs_sched.Policy.t -> disks:int -> config -> t
 (** [create ~disks config] builds an array of [disks] identical drives
     (default {!Geometry.cdc_wren_iv}).  [seed] (default 0) drives the
-    rotational-latency draws. *)
+    rotational-latency draws.  [scheduler] (default [Fcfs]) selects the
+    per-drive dispatch policy used by the queued path ({!submit} /
+    {!complete}); the synchronous {!service} path is FCFS by
+    construction. *)
 
-val create_mixed : ?seed:int -> geometries:Geometry.t list -> config -> t
+val create_mixed :
+  ?seed:int -> ?scheduler:Rofs_sched.Policy.t -> geometries:Geometry.t list -> config -> t
 (** Heterogeneous array (Section 2.1 allows "multiple heterogeneous
     devices").  Addressing is uniform, so each drive contributes the
     capacity of the {e smallest} drive; each services its requests with
@@ -45,6 +50,9 @@ val create_mixed : ?seed:int -> geometries:Geometry.t list -> config -> t
 val config : t -> config
 val disks : t -> int
 val geometry : t -> Geometry.t
+
+val scheduler : t -> Rofs_sched.Policy.t
+(** Dispatch policy of the queued path. *)
 
 val capacity_bytes : t -> int
 (** Usable data capacity (excludes mirrors and parity). *)
@@ -71,6 +79,69 @@ val access : t -> now:float -> kind:kind -> extents:(int * int) list -> float
 val time_of : t -> kind:kind -> extents:(int * int) list -> float
 (** Duration [access] would take on an otherwise idle, just-reset array;
     convenience for unit tests and analytic checks (no state change). *)
+
+(** {1 Dispatch-queue path}
+
+    The alternative to {!service} for engines that model per-drive
+    queueing for real: {!submit} splits an operation into per-drive
+    chunk requests and leaves them on each drive's dispatch queue; the
+    scheduler policy picks which pending request an idle arm serves
+    next, so a later-arriving request can be reordered ahead of queued
+    ones (SSTF / SCAN / C-LOOK).  The caller owns the clock: it receives
+    one {!dispatched} record per request an idle drive starts, must call
+    {!complete} when that request's [d_finished] time arrives, and gets
+    back the next dispatch (if any) to schedule.  Do not mix {!service}
+    and {!submit} on one array: both move the same arms. *)
+
+type op
+(** Handle on one submitted logical operation. *)
+
+val op_id : op -> int
+(** Unique, monotonically increasing per array. *)
+
+val op_done : op -> bool
+(** All chunk requests of the operation have completed. *)
+
+val op_service : op -> service
+(** Service window of a completed (or empty) operation: first dispatch
+    start to last chunk completion.  An operation with no chunks
+    began and finished at its submission time. *)
+
+type dispatched = {
+  d_drive : int;
+  d_op_id : int;
+  d_started : float;
+  d_finished : float;  (** when to call {!complete} on [d_drive] *)
+  d_bytes : int;
+  d_parity : bool;  (** redundancy traffic: excluded from data-byte accounting *)
+}
+(** One chunk request an idle drive just started servicing. *)
+
+type completion = {
+  c_op : op;  (** the operation the retired request belonged to *)
+  c_op_done : bool;  (** that operation just completed entirely *)
+}
+
+val submit : t -> now:float -> kind:kind -> extents:(int * int) list -> op * dispatched list
+(** Enqueue one logical operation's chunks on their drives' dispatch
+    queues and start every idle drive that received work.  Returns the
+    operation handle and the newly started requests (at most one per
+    drive). *)
+
+val complete : t -> drive:int -> completion * dispatched option
+(** Retire [drive]'s in-service request — the caller invokes this when
+    the request's [d_finished] time arrives — and start the drive's next
+    pending request per the scheduler, if any.  Raises
+    [Invalid_argument] if the drive has nothing in service. *)
+
+val pending : t -> drive:int -> int
+(** Requests on [drive]'s dispatch queue, including the one in
+    service. *)
+
+val in_service_finish : t -> drive:int -> float option
+(** Completion time of [drive]'s in-service request, if one is moving —
+    what a caller that lost its completion events (e.g. across an
+    experiment phase change) must re-post. *)
 
 val utilization : t -> now:float -> float
 (** Fraction of elapsed time the drives spent busy, averaged over

@@ -81,6 +81,19 @@ let access t ~now ~rng ~offset ~bytes =
   end;
   finish
 
+let serve t ~start ~rng ~offset ~bytes ~passes =
+  if passes < 1 then invalid_arg "Drive.serve: passes < 1";
+  if t.busy_until > start then invalid_arg "Drive.serve: drive still busy";
+  (* Each pass runs through [access] so the positioning regimes (and
+     their statistics) match the FCFS path exactly; the second pass of a
+     read-modify-write re-targets the same bytes and therefore pays a
+     full reposition, as it does there. *)
+  let finish = ref start in
+  for _ = 1 to passes do
+    finish := access t ~now:start ~rng ~offset ~bytes
+  done;
+  !finish
+
 let stats t =
   { requests = t.requests; bytes_moved = t.bytes_moved; seeks = t.seeks; busy_ms = t.busy_ms }
 

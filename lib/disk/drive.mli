@@ -36,6 +36,14 @@ val access : t -> now:float -> rng:Rofs_util.Rng.t -> offset:int -> bytes:int ->
     and statistics.  Requires [bytes >= 0] and the transfer to lie within
     the drive. *)
 
+val serve : t -> start:float -> rng:Rofs_util.Rng.t -> offset:int -> bytes:int -> passes:int -> float
+(** Dispatch-queue variant of {!access}: perform the transfer [passes]
+    times back to back (2 for a read-modify-write), beginning exactly at
+    [start], and return the completion time.  The caller — the array's
+    per-drive scheduler — guarantees the drive is idle at [start]
+    ([busy_until t <= start]); raises [Invalid_argument] otherwise or if
+    [passes < 1]. *)
+
 val service_time_ms : t -> rng:Rofs_util.Rng.t -> offset:int -> bytes:int -> float
 (** The duration [access] would charge, without performing the request
     (no state change; the latency draw uses [rng]). *)

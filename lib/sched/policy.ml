@@ -1,0 +1,15 @@
+type t = Fcfs | Sstf | Scan | Clook
+
+let all = [ Fcfs; Sstf; Scan; Clook ]
+
+let name = function Fcfs -> "fcfs" | Sstf -> "sstf" | Scan -> "scan" | Clook -> "clook"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "fcfs" -> Some Fcfs
+  | "sstf" -> Some Sstf
+  | "scan" | "elevator" -> Some Scan
+  | "clook" | "c-look" -> Some Clook
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (name t)

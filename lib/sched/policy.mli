@@ -1,0 +1,31 @@
+(** Per-drive I/O scheduling policies.
+
+    Which pending request a drive services next once its arm falls idle.
+    The paper's own evaluation (and the seed reproduction) serves drives
+    strictly FCFS; the other three are the classic seek-sequencing
+    policies of Wren-era controllers — shortest-seek-time-first, the
+    elevator (SCAN), and its circular one-directional variant (C-LOOK) —
+    studied by Cardonha et al. for linear storage devices. *)
+
+type t =
+  | Fcfs  (** first come, first served — arrival order (the default) *)
+  | Sstf  (** shortest seek time first — nearest cylinder to the arm *)
+  | Scan
+      (** elevator: sweep the arm in one direction serving everything in
+          its path, reverse at the last pending cylinder *)
+  | Clook
+      (** circular LOOK: serve in increasing-cylinder order only; when
+          nothing lies above the arm, wrap to the lowest pending
+          cylinder *)
+
+val all : t list
+(** [Fcfs; Sstf; Scan; Clook] — iteration order used by the benches. *)
+
+val name : t -> string
+(** Lower-case stable name: ["fcfs"], ["sstf"], ["scan"], ["clook"]. *)
+
+val of_string : string -> t option
+(** Case-insensitive inverse of {!name}; also accepts ["c-look"] and
+    ["elevator"]. *)
+
+val pp : Format.formatter -> t -> unit

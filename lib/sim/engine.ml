@@ -2,6 +2,7 @@ module Rng = Rofs_util.Rng
 module Dist = Rofs_util.Dist
 module Heap = Rofs_util.Heap
 module Stats = Rofs_util.Stats
+module Sched_policy = Rofs_sched.Policy
 module Array_model = Rofs_disk.Array_model
 module File_type = Rofs_workload.File_type
 module Workload = Rofs_workload.Workload
@@ -11,6 +12,7 @@ type config = {
   disks : int;
   stripe_unit_bytes : int;
   array_config : int -> Array_model.config;
+  scheduler : Sched_policy.t;
   lower_bound : float;
   upper_bound : float;
   interval_ms : float;
@@ -29,6 +31,7 @@ let default_config =
     disks = 8;
     stripe_unit_bytes = 24 * 1024;
     array_config = (fun stripe_unit -> Array_model.Striped { stripe_unit });
+    scheduler = Sched_policy.Fcfs;
     lower_bound = 0.90;
     upper_bound = 0.95;
     interval_ms = 10_000.;
@@ -81,6 +84,11 @@ type mode =
   | Full_mix  (** the application-performance test *)
   | Whole_file_rw  (** the sequential-performance test *)
 
+(* The event heap holds two event kinds: a user whose think time expired
+   (perform its next operation), and — on the dispatch-queue path only —
+   a drive whose in-service request finishes at the event's time. *)
+type event = Wake of user | Drive_done of int
+
 type t = {
   cfg : config;
   workload : Workload.t;
@@ -88,8 +96,10 @@ type t = {
   volume : Volume.t;
   array : Array_model.t;
   rng : Rng.t;
-  heap : user Heap.t;
+  heap : event Heap.t;
   users : user array;
+  waiters : (int, user) Hashtbl.t;
+      (** queued path: op id -> the user blocked on that operation *)
   mutable in_flight : (float * float * int) list;
       (** (issue, completion, bytes) of I/Os not yet fully credited *)
   mutable now : float;
@@ -99,6 +109,16 @@ type t = {
   mutable bytes_completed : int;
   mutable meta_bytes : int;
 }
+
+(* The FCFS policy keeps the seed's synchronous fast path: completion
+   times are computed at submission against each drive's busy clock,
+   which is equivalent to dispatching an arrival-ordered queue (the next
+   request's start never depends on later arrivals) and is byte-exact
+   with the seed implementation.  Any other policy must defer: which
+   request a drive serves next depends on what else has arrived by the
+   time its arm falls idle, so the engine posts per-drive completion
+   events and the array dispatches from real queues. *)
+let queued t = t.cfg.scheduler <> Sched_policy.Fcfs
 
 let volume t = t.volume
 let array_model t = t.array
@@ -152,19 +172,34 @@ let populate t =
   done
 
 (* Phase 1 of initialization (and re-seeding between tests): each user
-   event gets a start time uniform on [now, now + users * hit_freq]. *)
+   event gets a start time uniform on [now, now + users * hit_freq].
+   On the queued path, requests left on the dispatch queues by the
+   previous test keep draining: their completion events are re-posted
+   (the clear dropped them) and their orphaned operations — whose users
+   just got fresh start times — are forgotten by the waiter table. *)
 let seed_events t =
   Heap.clear t.heap;
   Array.iter
     (fun user ->
       let spread = float_of_int user.ft.File_type.users *. user.ft.File_type.hit_freq_ms in
       let start = t.now +. Dist.uniform t.rng ~lo:0. ~hi:(Float.max spread 1.) in
-      Heap.push t.heap ~prio:start user)
-    t.users
+      Heap.push t.heap ~prio:start (Wake user))
+    t.users;
+  if queued t then begin
+    Hashtbl.reset t.waiters;
+    for d = 0 to Array_model.disks t.array - 1 do
+      match Array_model.in_service_finish t.array ~drive:d with
+      | Some finish -> Heap.push t.heap ~prio:finish (Drive_done d)
+      | None -> ()
+    done
+  end
 
 let create cfg ~policy ~workload =
   Workload.validate workload;
-  let array = Array_model.create ~seed:cfg.seed ~disks:cfg.disks (cfg.array_config cfg.stripe_unit_bytes) in
+  let array =
+    Array_model.create ~seed:cfg.seed ~scheduler:cfg.scheduler ~disks:cfg.disks
+      (cfg.array_config cfg.stripe_unit_bytes)
+  in
   let policy_bytes = policy.Rofs_alloc.Policy.total_units * policy.Rofs_alloc.Policy.unit_bytes in
   if policy_bytes > Array_model.capacity_bytes array then
     invalid_arg "Engine.create: policy address space exceeds the array capacity";
@@ -197,6 +232,7 @@ let create cfg ~policy ~workload =
       rng;
       heap = Heap.create ();
       users;
+      waiters = Hashtbl.create 64;
       in_flight = [];
       now = 0.;
       disk_fulls = 0;
@@ -230,27 +266,52 @@ let pick_file t user =
         | None -> None
       end
 
-(* Issue the physical transfer for a logical byte range and return its
-   completion time; bytes are credited to the throughput accounting at
-   completion. *)
+(* Result of performing one operation: either its completion time is
+   known now (no I/O, or the FCFS fast path), or the user must wait for
+   the dispatch queues to finish the operation. *)
+type outcome = Done of float | Wait of Array_model.op
+
+(* Push the completion event for every request a drive just started,
+   and — for operations that count toward throughput — credit each
+   request's bytes over its own service window (the queued-path
+   refinement of the seed's per-operation crediting). *)
+let post_dispatched t ~credit ds =
+  List.iter
+    (fun (d : Array_model.dispatched) ->
+      Heap.push t.heap ~prio:d.Array_model.d_finished (Drive_done d.Array_model.d_drive);
+      if credit && not d.Array_model.d_parity then
+        t.in_flight <-
+          (d.Array_model.d_started, d.Array_model.d_finished, d.Array_model.d_bytes)
+          :: t.in_flight)
+    ds
+
+(* Issue the physical transfer for a logical byte range; bytes are
+   credited to the throughput accounting per service window. *)
 let do_io t ~kind ~file ~off ~len =
   let extents = Volume.slice_bytes t.volume ~file ~off ~len in
-  if extents = [] then t.now
-  else begin
+  if extents = [] then Done t.now
+  else if not (queued t) then begin
     let physical = List.fold_left (fun acc (_, l) -> acc + l) 0 extents in
     let sv = Array_model.service t.array ~now:t.now ~kind ~extents in
     t.io_ops <- t.io_ops + 1;
     (* Credit bytes over the service window, not the queue wait. *)
     t.in_flight <- (sv.Array_model.began, sv.Array_model.finished, physical) :: t.in_flight;
-    sv.Array_model.finished
+    Done sv.Array_model.finished
+  end
+  else begin
+    let op, started = Array_model.submit t.array ~now:t.now ~kind ~extents in
+    t.io_ops <- t.io_ops + 1;
+    post_dispatched t ~credit:true started;
+    if Array_model.op_done op then Done (Array_model.op_service op).Array_model.finished
+    else Wait op
   end
 
 let do_read_write t user ~kind ~whole =
   match pick_file t user with
-  | None -> t.now
+  | None -> Done t.now
   | Some file ->
       let logical = Volume.logical_bytes t.volume ~file in
-      if logical = 0 then t.now
+      if logical = 0 then Done t.now
       else begin
         let off, len =
           if whole then (0, logical)
@@ -288,7 +349,7 @@ let do_read_write t user ~kind ~whole =
             | Array_model.Read -> user.read_ahead_until
             | Array_model.Write -> user.write_behind_until
           in
-          if off + len <= window_end then t.now
+          if off + len <= window_end then Done t.now
           else begin
             let staged = min logical (off + (t.cfg.readahead_factor * max len 1)) in
             (match kind with
@@ -314,18 +375,24 @@ let charge_metadata t ~file ~new_extents =
     let capacity = Array_model.capacity_bytes t.array in
     let meta_units = ((new_extents - 1) / records_per_meta_unit) + 1 in
     let slot = (file * 2654435761) land max_int mod ((capacity / unit) - meta_units) in
-    let finish =
-      Array_model.access t.array ~now:t.now ~kind:Array_model.Write
-        ~extents:[ (slot * unit, meta_units * unit) ]
-    in
-    ignore (finish : float);
+    let extents = [ (slot * unit, meta_units * unit) ] in
+    (* Nobody waits on descriptor write-back and it is not credited as
+       data throughput, but it still occupies the drives: the queued
+       path routes it through the dispatch queues like everything
+       else. *)
+    if not (queued t) then
+      ignore (Array_model.access t.array ~now:t.now ~kind:Array_model.Write ~extents : float)
+    else begin
+      let _op, started = Array_model.submit t.array ~now:t.now ~kind:Array_model.Write ~extents in
+      post_dispatched t ~credit:false started
+    end;
     t.meta_bytes <- t.meta_bytes + (meta_units * unit)
   end
 
 let do_extend t user ~with_io =
   t.alloc_ops <- t.alloc_ops + 1;
   match pick_file t user with
-  | None -> (t.now, false)
+  | None -> (Done t.now, false)
   | Some file ->
       let bytes = File_type.draw_rw_bytes user.ft user.rng in
       let old_logical = Volume.logical_bytes t.volume ~file in
@@ -337,17 +404,17 @@ let do_extend t user ~with_io =
               ~new_extents:(Volume.extent_count t.volume ~file - extents_before);
             (do_io t ~kind:Array_model.Write ~file ~off:old_logical ~len:bytes, false)
           end
-          else (t.now, false)
+          else (Done t.now, false)
       | Error `Disk_full ->
           t.disk_fulls <- t.disk_fulls + 1;
-          (t.now, true))
+          (Done t.now, true))
 
 let do_truncate t user =
   t.alloc_ops <- t.alloc_ops + 1;
   (match pick_file t user with
   | None -> ()
   | Some file -> Volume.truncate t.volume ~file ~bytes:user.ft.File_type.truncate_bytes);
-  (t.now, false)
+  (Done t.now, false)
 
 (* Delete removes the file and immediately recreates it at the size it
    had — the paper's periodically deleted and recreated files.  The
@@ -357,7 +424,7 @@ let do_truncate t user =
 let do_delete t user =
   t.alloc_ops <- t.alloc_ops + 1;
   match pick_file t user with
-  | None -> (t.now, false)
+  | None -> (Done t.now, false)
   | Some file ->
       let size = Volume.logical_bytes t.volume ~file in
       Volume.delete t.volume ~file;
@@ -367,13 +434,13 @@ let do_delete t user =
           ~hint_bytes:user.ft.File_type.alloc_hint_bytes
       in
       (match Volume.grow t.volume ~file:fresh ~bytes:size with
-      | Ok () -> (t.now, false)
+      | Ok () -> (Done t.now, false)
       | Error `Disk_full ->
           t.disk_fulls <- t.disk_fulls + 1;
-          (t.now, true))
+          (Done t.now, true))
 
-(* Perform one operation for [user]; returns (completion time, whether
-   an allocation failed). *)
+(* Perform one operation for [user]; returns (outcome, whether an
+   allocation failed). *)
 let perform t ~mode user =
   match mode with
   | Whole_file_rw ->
@@ -408,17 +475,52 @@ let perform t ~mode user =
 (* ------------------------------------------------------------------ *)
 (* Event loop                                                          *)
 
-(* [stop ~failed] is consulted after every event. *)
+(* [stop ~failed] is consulted after every event.  A [Wake] performs the
+   user's next operation; on the FCFS fast path its completion time is
+   known immediately and the user's next wake is scheduled right away
+   (byte-identical to the seed's loop — [Drive_done] events never occur
+   there).  On the queued path the user parks in [waiters] until the
+   dispatch queues finish the operation; a [Drive_done d] retires drive
+   [d]'s in-service request at its completion time, starts the drive's
+   next queued request per the scheduler, and wakes the blocked user
+   when the whole operation is done. *)
 let run_events t ~mode ~stop =
+  let wake_after t (user : user) ~completion =
+    let think = Dist.exponential user.rng ~mean:user.ft.File_type.process_time_ms in
+    Heap.push t.heap ~prio:(completion +. think) (Wake user)
+  in
   let rec loop () =
     match Heap.pop t.heap with
     | None -> ()
-    | Some (time, user) ->
+    | Some (time, Wake user) ->
         t.now <- Float.max t.now time;
-        let completion, failed = perform t ~mode user in
-        let think = Dist.exponential user.rng ~mean:user.ft.File_type.process_time_ms in
-        Heap.push t.heap ~prio:(completion +. think) user;
+        let outcome, failed = perform t ~mode user in
+        (match outcome with
+        | Done completion -> wake_after t user ~completion
+        | Wait op -> Hashtbl.replace t.waiters (Array_model.op_id op) user);
         if not (stop ~failed) then loop ()
+    | Some (time, Drive_done d) ->
+        t.now <- Float.max t.now time;
+        let completion, next = Array_model.complete t.array ~drive:d in
+        (match next with
+        | Some disp ->
+            (* Credit the newly dispatched request only if its operation
+               still counts: metadata write-back and operations orphaned
+               by a test-phase change have no waiter. *)
+            post_dispatched t
+              ~credit:(Hashtbl.mem t.waiters disp.Array_model.d_op_id)
+              [ disp ]
+        | None -> ());
+        (if completion.Array_model.c_op_done then begin
+           let id = Array_model.op_id completion.Array_model.c_op in
+           match Hashtbl.find_opt t.waiters id with
+           | Some user ->
+               Hashtbl.remove t.waiters id;
+               wake_after t user
+                 ~completion:(Array_model.op_service completion.Array_model.c_op).Array_model.finished
+           | None -> ()
+         end);
+        if not (stop ~failed:false) then loop ()
   in
   loop ()
 

@@ -34,6 +34,16 @@ type config = {
   stripe_unit_bytes : int;
   array_config : int -> Rofs_disk.Array_model.config;
       (** array layout from the stripe unit; default builds [Striped] *)
+  scheduler : Rofs_sched.Policy.t;
+      (** per-drive request scheduler (default [Fcfs]).  [Fcfs] keeps
+          the seed semantics — completion times computed at submission
+          against each drive's busy clock, which is equivalent to
+          dispatching an arrival-ordered queue and byte-identical with
+          the original implementation.  [Sstf] / [Scan] / [Clook] switch
+          the engine to the dispatch-queue model: every drive owns a
+          pending-request queue, the engine posts per-drive completion
+          events into its event heap, and the policy reorders queued
+          requests whenever an arm falls idle. *)
   lower_bound : float;  (** N: utilization reached before measuring (0.90) *)
   upper_bound : float;  (** M: utilization cap during measurement (0.95) *)
   interval_ms : float;  (** throughput checkpoint spacing (10 s) *)
