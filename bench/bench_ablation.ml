@@ -16,24 +16,31 @@ let stripe_units = [ 8 * 1024; 24 * 1024; 96 * 1024; 512 * 1024 ]
 let run_stripe () =
   Common.heading "Ablation: stripe-unit sensitivity (SC workload)";
   let t = C.Table.create ~header:[ "stripe unit"; "policy"; "application"; "sequential" ] in
-  List.iter
-    (fun stripe ->
-      List.iter
-        (fun (name, spec) ->
-          let config = { !Common.config with C.Engine.stripe_unit_bytes = stripe } in
-          let app, seq = C.Experiment.run_throughput ~config spec C.Workload.sc in
-          C.Table.add_row t
-            [
-              C.Units.to_string stripe;
-              name;
-              Common.pct_points app.C.Engine.pct_of_max;
-              Common.pct_points seq.C.Engine.pct_of_max;
-            ])
+  let cells =
+    List.concat_map
+      (fun stripe ->
+        List.map
+          (fun (name, spec) -> (stripe, name, spec))
+          [
+            ("restricted buddy", Common.rbuddy_selected);
+            ("extent", Common.extent_selected C.Workload.sc);
+          ])
+      stripe_units
+  in
+  let rows =
+    Common.par_map
+      (fun (stripe, name, spec) ->
+        let config = { !Common.config with C.Engine.stripe_unit_bytes = stripe } in
+        let app, seq = C.Experiment.run_throughput ~config spec C.Workload.sc in
         [
-          ("restricted buddy", Common.rbuddy_selected);
-          ("extent", Common.extent_selected C.Workload.sc);
+          C.Units.to_string stripe;
+          name;
+          Common.pct_points app.C.Engine.pct_of_max;
+          Common.pct_points seq.C.Engine.pct_of_max;
         ])
-    stripe_units;
+      cells
+  in
+  List.iter (C.Table.add_row t) rows;
   Common.emit t
 
 (* TP scaled to fit the reduced data capacity of mirrored (4 drives)
@@ -113,10 +120,10 @@ let run_mix () =
             in
             { ft with C.File_type.count })
       in
-      List.iter
-        (fun (name, spec) ->
-          let r = Common.run_alloc spec workload in
-          C.Table.add_row t
+      let rows =
+        Common.par_map
+          (fun (name, spec) ->
+            let r = Common.run_alloc spec workload in
             [
               Printf.sprintf "%.0f%%" (100. *. share);
               name;
@@ -124,11 +131,13 @@ let run_mix () =
               Common.pct r.C.Engine.external_frag;
               Common.pct r.C.Engine.utilization_at_end;
             ])
-        [
-          ("restricted buddy", Common.rbuddy_spec 3);
-          ("extent", Common.extent_spec workload 3);
-          ("fixed 4K", C.Experiment.Fixed (C.Fixed_block.config ~block_bytes:(4 * 1024) ()));
-        ])
+          [
+            ("restricted buddy", Common.rbuddy_spec 3);
+            ("extent", Common.extent_spec workload 3);
+            ("fixed 4K", C.Experiment.Fixed (C.Fixed_block.config ~block_bytes:(4 * 1024) ()));
+          ]
+      in
+      List.iter (C.Table.add_row t) rows)
     mixes;
   Common.emit t;
   Common.note
@@ -144,22 +153,30 @@ let run_seeds () =
   Common.heading "Ablation: seed sensitivity of the Figure 6 headline (mean +- stddev, 3 seeds)";
   let seeds = [ 41; 42; 43 ] in
   let t = C.Table.create ~header:[ "policy"; "workload"; "application"; "sequential" ] in
-  List.iter
-    (fun workload ->
-      List.iter
-        (fun (name, spec) ->
-          let app, seq =
-            C.Experiment.run_throughput_seeds ~config:!Common.config ~seeds spec workload
-          in
-          let cell (s : C.Experiment.summary) =
-            Printf.sprintf "%.1f +- %.1f" s.C.Experiment.mean s.C.Experiment.stddev
-          in
-          C.Table.add_row t [ name; workload.C.Workload.name; cell app; cell seq ])
+  (* run_matrix flattens the policy x workload x seed grid onto the
+     pool; summaries are byte-identical to the serial loop this replaced. *)
+  let cells =
+    C.Experiment.run_matrix ~config:!Common.config ~jobs:!Common.jobs ~seeds
+      ~policies:
         [
-          ("restricted buddy", Common.rbuddy_selected);
-          ("fixed block", Common.fixed_spec workload);
+          ("restricted buddy", fun _ -> Common.rbuddy_selected);
+          ("fixed block", fun w -> Common.fixed_spec w);
+        ]
+      [ C.Workload.sc; C.Workload.ts ]
+  in
+  let cell (s : C.Experiment.summary) =
+    Printf.sprintf "%.1f +- %.1f" s.C.Experiment.mean s.C.Experiment.stddev
+  in
+  List.iter
+    (fun (mc : C.Experiment.matrix_cell) ->
+      C.Table.add_row t
+        [
+          mc.C.Experiment.m_policy;
+          mc.C.Experiment.m_workload;
+          cell mc.C.Experiment.m_application;
+          cell mc.C.Experiment.m_sequential;
         ])
-    [ C.Workload.sc; C.Workload.ts ];
+    cells;
   Common.emit t
 
 (* The paper's introduction criticizes fixed-block systems for
@@ -173,30 +190,36 @@ let run_metadata () =
       ~header:[ "workload"; "policy"; "application"; "meta traffic"; "meta share of bytes" ]
   in
   let config = { !Common.config with C.Engine.metadata_io = true } in
-  List.iter
-    (fun workload ->
-      List.iter
-        (fun (name, spec) ->
-          let engine = C.Experiment.make_engine ~config spec workload in
-          C.Engine.fill_to_lower_bound engine;
-          let app = C.Engine.run_application_test engine in
-          let data_bytes = app.C.Engine.bytes_per_ms *. app.C.Engine.measured_ms in
-          C.Table.add_row t
-            [
-              workload.C.Workload.name;
-              name;
-              Common.pct_points app.C.Engine.pct_of_max;
-              C.Units.to_string app.C.Engine.meta_bytes;
-              Printf.sprintf "%.2f%%"
-                (100. *. float_of_int app.C.Engine.meta_bytes /. data_bytes);
-            ])
+  let cells =
+    List.concat_map
+      (fun workload ->
+        List.map
+          (fun (name, spec) -> (workload, name, spec))
+          [
+            ("restricted buddy", Common.rbuddy_selected);
+            ("extent", Common.extent_selected workload);
+            ("fixed", Common.fixed_spec workload);
+            ("log-structured", C.Experiment.Log_structured (C.Log_structured.config ()));
+          ])
+      [ C.Workload.ts; C.Workload.sc ]
+  in
+  let rows =
+    Common.par_map
+      (fun ((workload : C.Workload.t), name, spec) ->
+        let engine = C.Experiment.make_engine ~config spec workload in
+        C.Engine.fill_to_lower_bound engine;
+        let app = C.Engine.run_application_test engine in
+        let data_bytes = app.C.Engine.bytes_per_ms *. app.C.Engine.measured_ms in
         [
-          ("restricted buddy", Common.rbuddy_selected);
-          ("extent", Common.extent_selected workload);
-          ("fixed", Common.fixed_spec workload);
-          ("log-structured", C.Experiment.Log_structured (C.Log_structured.config ()));
+          workload.C.Workload.name;
+          name;
+          Common.pct_points app.C.Engine.pct_of_max;
+          C.Units.to_string app.C.Engine.meta_bytes;
+          Printf.sprintf "%.2f%%" (100. *. float_of_int app.C.Engine.meta_bytes /. data_bytes);
         ])
-    [ C.Workload.ts; C.Workload.sc ];
+      cells
+  in
+  List.iter (C.Table.add_row t) rows;
   Common.emit t;
   Common.note
     [

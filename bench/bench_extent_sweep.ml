@@ -23,28 +23,32 @@ let range_counts = [ 1; 2; 3; 4; 5 ]
 let fit_name = function C.Extent_alloc.First_fit -> "first-fit" | C.Extent_alloc.Best_fit -> "best-fit"
 
 let compute () =
-  List.concat_map
-    (fun workload ->
-      List.concat_map
-        (fun fit ->
-          List.map
-            (fun nranges ->
-              let spec = Common.extent_spec ~fit workload nranges in
-              let alloc = Common.run_alloc spec workload in
-              let app, seq = Common.run_pair spec workload in
-              {
-                workload = workload.C.Workload.name;
-                fit;
-                nranges;
-                internal = alloc.C.Engine.internal_frag;
-                external_ = alloc.C.Engine.external_frag;
-                app_pct = app.C.Engine.pct_of_max;
-                seq_pct = seq.C.Engine.pct_of_max;
-                extents_per_file = app.C.Engine.mean_extents_per_file;
-              })
-            range_counts)
-        fits)
-    [ C.Workload.sc; C.Workload.tp; C.Workload.ts ]
+  (* The 30 (workload, fit, ranges) cells are independent simulations;
+     run them on the pool (bench --jobs / ROFS_JOBS) in input order. *)
+  let cells =
+    List.concat_map
+      (fun workload ->
+        List.concat_map
+          (fun fit -> List.map (fun nranges -> (workload, fit, nranges)) range_counts)
+          fits)
+      [ C.Workload.sc; C.Workload.tp; C.Workload.ts ]
+  in
+  Common.par_map
+    (fun ((workload : C.Workload.t), fit, nranges) ->
+      let spec = Common.extent_spec ~fit workload nranges in
+      let alloc = Common.run_alloc spec workload in
+      let app, seq = Common.run_pair spec workload in
+      {
+        workload = workload.C.Workload.name;
+        fit;
+        nranges;
+        internal = alloc.C.Engine.internal_frag;
+        external_ = alloc.C.Engine.external_frag;
+        app_pct = app.C.Engine.pct_of_max;
+        seq_pct = seq.C.Engine.pct_of_max;
+        extents_per_file = app.C.Engine.mean_extents_per_file;
+      })
+    cells
 
 let results = lazy (Common.timed "extent sweep" compute)
 

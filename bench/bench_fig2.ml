@@ -9,26 +9,40 @@
 
 module C = Core
 
-let run_workload workload =
-  let t = C.Table.create ~header:[ "configuration"; "application"; "sequential" ] in
-  List.iter
-    (fun (label, nsizes, grow, clustered) ->
-      let spec = Common.rbuddy_spec ~grow ~clustered nsizes in
-      let app, seq = Common.run_pair spec workload in
-      C.Table.add_row t
-        [
-          label;
-          Common.pct_points app.C.Engine.pct_of_max;
-          Common.pct_points seq.C.Engine.pct_of_max;
-        ])
-    Bench_fig1.configurations;
-  C.Table.print
-    ~title:(Printf.sprintf "Figure 2 — %s workload" workload.C.Workload.name)
-    t
-
 let run () =
   Common.heading "Figure 2: restricted buddy throughput sweep";
-  List.iter run_workload [ C.Workload.sc; C.Workload.tp; C.Workload.ts ];
+  (* One flat (workload × configuration) grid on the pool: every cell is
+     an independent simulation, and results come back in input order, so
+     the tables are identical at any --jobs. *)
+  let workloads = [ C.Workload.sc; C.Workload.tp; C.Workload.ts ] in
+  let cells =
+    List.concat_map
+      (fun w -> List.map (fun cfg -> (w, cfg)) Bench_fig1.configurations)
+      workloads
+  in
+  let rows =
+    Common.par_map
+      (fun ((w : C.Workload.t), (label, nsizes, grow, clustered)) ->
+        let spec = Common.rbuddy_spec ~grow ~clustered nsizes in
+        let app, seq = Common.run_pair spec w in
+        (w.C.Workload.name, label, app, seq))
+      cells
+  in
+  List.iter
+    (fun (w : C.Workload.t) ->
+      let t = C.Table.create ~header:[ "configuration"; "application"; "sequential" ] in
+      List.iter
+        (fun (wname, label, (app : C.Engine.throughput_report), (seq : C.Engine.throughput_report)) ->
+          if wname = w.C.Workload.name then
+            C.Table.add_row t
+              [
+                label;
+                Common.pct_points app.C.Engine.pct_of_max;
+                Common.pct_points seq.C.Engine.pct_of_max;
+              ])
+        rows;
+      C.Table.print ~title:(Printf.sprintf "Figure 2 — %s workload" w.C.Workload.name) t)
+    workloads;
   Common.note
     [
       "";

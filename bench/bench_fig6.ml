@@ -23,14 +23,28 @@ let run () =
   let seq_table = C.Table.create ~header:[ "policy"; "SC"; "TP"; "TS" ] in
   let app_table = C.Table.create ~header:[ "policy"; "SC"; "TP"; "TS" ] in
   let results =
-    (* one throughput pair per (policy, workload) *)
+    (* one throughput pair per (policy, workload); the 12 cells run on
+       the pool (bench --jobs / ROFS_JOBS) and come back in input order *)
+    let workloads = [ C.Workload.sc; C.Workload.tp; C.Workload.ts ] in
+    let cells =
+      List.concat_map
+        (fun w -> List.map (fun (name, spec) -> (w, name, spec)) (policies w))
+        workloads
+    in
+    let pairs =
+      Common.par_map
+        (fun ((w : C.Workload.t), name, spec) ->
+          (w.C.Workload.name, name, Common.run_pair spec w))
+        cells
+    in
     List.map
-      (fun workload ->
-        ( workload.C.Workload.name,
-          List.map
-            (fun (name, spec) -> (name, Common.run_pair spec workload))
-            (policies workload) ))
-      [ C.Workload.sc; C.Workload.tp; C.Workload.ts ]
+      (fun (w : C.Workload.t) ->
+        ( w.C.Workload.name,
+          List.filter_map
+            (fun (wname, pname, pair) ->
+              if wname = w.C.Workload.name then Some (pname, pair) else None)
+            pairs ))
+      workloads
   in
   let policy_names = List.map fst (policies C.Workload.sc) in
   List.iter

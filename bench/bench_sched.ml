@@ -20,22 +20,26 @@ let run () =
   let t =
     C.Table.create ~header:[ "scheduler"; "workload"; "application"; "sequential"; "app io ops" ]
   in
-  List.iter
-    (fun sched ->
-      List.iter
-        (fun (w : C.Workload.t) ->
-          let config = { !Common.config with C.Engine.scheduler = sched } in
-          let app, seq = C.Experiment.run_throughput ~config Common.rbuddy_selected w in
-          C.Table.add_row t
-            [
-              C.Sched_policy.name sched;
-              w.C.Workload.name;
-              Common.pct_points app.C.Engine.pct_of_max;
-              Common.pct_points seq.C.Engine.pct_of_max;
-              string_of_int app.C.Engine.io_ops;
-            ])
-        Common.workloads)
-    C.Sched_policy.all;
+  let cells =
+    List.concat_map
+      (fun sched -> List.map (fun w -> (sched, w)) Common.workloads)
+      C.Sched_policy.all
+  in
+  let rows =
+    Common.par_map
+      (fun (sched, (w : C.Workload.t)) ->
+        let config = { !Common.config with C.Engine.scheduler = sched } in
+        let app, seq = C.Experiment.run_throughput ~config Common.rbuddy_selected w in
+        [
+          C.Sched_policy.name sched;
+          w.C.Workload.name;
+          Common.pct_points app.C.Engine.pct_of_max;
+          Common.pct_points seq.C.Engine.pct_of_max;
+          string_of_int app.C.Engine.io_ops;
+        ])
+      cells
+  in
+  List.iter (C.Table.add_row t) rows;
   Common.emit ~title:"Scheduler ablation: throughput as % of maximum" t;
   Common.note
     [

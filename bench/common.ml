@@ -41,6 +41,14 @@ let extent_selected workload = extent_spec ~fit:C.Extent_alloc.First_fit workloa
 
 let config = ref C.Engine.default_config
 
+(* Parallelism: bench --jobs N (or ROFS_JOBS=N) fans independent
+   simulation cells across that many domains.  Cells are isolated —
+   each builds its own RNG, policy and engine — and [par_map] returns
+   results in input order, so tables are identical at every job count;
+   only the wall clock changes. *)
+let jobs = ref (C.Pool.default_jobs ())
+let par_map f xs = C.Pool.map_list ~jobs:!jobs f xs
+
 let run_alloc spec workload = C.Experiment.run_allocation ~config:!config spec workload
 
 let run_pair spec workload = C.Experiment.run_throughput ~config:!config spec workload

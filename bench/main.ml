@@ -18,6 +18,7 @@ let benches =
     ("fig5", "extent-based throughput sweep", Bench_fig5.run);
     ("table4", "average extents per file", Bench_table4.run);
     ("fig6", "comparative policy performance", Bench_fig6.run);
+    ("sweep", "fig6 replicated over 10 seeds (mean +- stddev)", Bench_sweep.run);
     ("ablation", "stripe-unit and RAID ablations (Section 6)", Bench_ablation.run);
     ("sched", "per-drive I/O scheduler ablation", Bench_sched.run);
     ("extension", "log-structured allocation extension (Section 6)", Bench_extension.run);
@@ -30,12 +31,21 @@ let list_benches () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* --csv <dir>: also write every table as CSV into <dir> *)
+  (* --csv <dir>: also write every table as CSV into <dir>
+     --jobs <n>: run independent simulation cells on <n> domains
+     (default: ROFS_JOBS, or 1 — serial, byte-identical output) *)
   let args =
     let rec strip acc = function
       | "--csv" :: dir :: rest ->
           if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
           Common.csv_dir := Some dir;
+          strip acc rest
+      | "--jobs" :: n :: rest ->
+          (match int_of_string_opt n with
+          | Some j when j >= 1 -> Common.jobs := j
+          | _ ->
+              Printf.eprintf "--jobs %s: expected a positive integer\n" n;
+              exit 2);
           strip acc rest
       | x :: rest -> strip (x :: acc) rest
       | [] -> List.rev acc

@@ -29,8 +29,39 @@ let build_spec ~policy ~sizes ~grow ~clustered ~fit ~ranges ~block ~workload =
   | "lfs" -> C.Experiment.Log_structured (C.Log_structured.config ())
   | other -> invalid_arg (Printf.sprintf "unknown policy %S" other)
 
-let run policy sizes grow unclustered fit ranges block workload_name test seed readahead scheduler
-    =
+(* --seeds sweep mode: replicate the throughput pair across seeds on the
+   Domain pool and report mean +- stddev (and the sample range).  The
+   per-seed cells are isolated simulations; the per-worker accumulators
+   are singleton Stats merged in fixed seed order (Chan et al. via
+   Stats.merge), so the printed summary does not depend on --jobs. *)
+let run_sweep ~config ~jobs ~seeds ~policy spec (workload : C.Workload.t) =
+  Printf.printf "sweep: %d seeds [%s] jobs=%d scheduler=%s\n%!" (List.length seeds)
+    (String.concat "," (List.map string_of_int seeds))
+    jobs
+    (C.Sched_policy.name config.C.Engine.scheduler);
+  let pairs = C.Experiment.run_throughput_pairs ~config ~jobs ~seeds spec workload in
+  let merged pick =
+    Array.fold_left
+      (fun acc pair ->
+        let s = C.Stats.create () in
+        C.Stats.add s (pick pair);
+        C.Stats.merge acc s)
+      (C.Stats.create ()) pairs
+  in
+  let line label stats =
+    let bound v = match v with Some x -> Printf.sprintf "%.1f" x | None -> "-" in
+    Printf.printf "%-12s %6.1f +- %4.1f %% of max   (min %s, max %s, n=%d)\n" label
+      (C.Stats.mean stats) (C.Stats.stddev stats)
+      (bound (C.Stats.min_value stats))
+      (bound (C.Stats.max_value stats))
+      (C.Stats.count stats)
+  in
+  Printf.printf "%s / %s\n" workload.C.Workload.name policy;
+  line "application" (merged (fun ((app : C.Engine.throughput_report), _) -> app.C.Engine.pct_of_max));
+  line "sequential" (merged (fun (_, (seq : C.Engine.throughput_report)) -> seq.C.Engine.pct_of_max))
+
+let run policy sizes grow unclustered fit ranges block workload_name test seed seeds jobs
+    readahead scheduler =
   match C.Workload.by_name workload_name with
   | None ->
       Printf.eprintf "unknown workload %S (expected ts, tp or sc)\n" workload_name;
@@ -43,21 +74,25 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed r
       let config =
         { C.Engine.default_config with seed; readahead_factor = readahead; scheduler }
       in
-      Printf.printf "seed=%d scheduler=%s\n%!" seed (C.Sched_policy.name scheduler);
-      let alloc =
-        if test = All || test = Alloc then Some (C.Experiment.run_allocation ~config spec workload)
-        else None
-      in
-      let application, sequential =
-        if test = All || test = Throughput then begin
-          let app, seq = C.Experiment.run_throughput ~config spec workload in
-          (Some app, Some seq)
-        end
-        else (None, None)
-      in
-      print_string
-        (C.Report.summary ~workload:workload.C.Workload.name ~policy ~alloc ~application
-           ~sequential)
+      if seeds <> [] then run_sweep ~config ~jobs ~seeds ~policy spec workload
+      else begin
+        Printf.printf "seed=%d scheduler=%s\n%!" seed (C.Sched_policy.name scheduler);
+        let alloc =
+          if test = All || test = Alloc then
+            Some (C.Experiment.run_allocation ~config spec workload)
+          else None
+        in
+        let application, sequential =
+          if test = All || test = Throughput then begin
+            let app, seq = C.Experiment.run_throughput ~config spec workload in
+            (Some app, Some seq)
+          end
+          else (None, None)
+        in
+        print_string
+          (C.Report.summary ~workload:workload.C.Workload.name ~policy ~alloc ~application
+             ~sequential)
+      end
 
 let policy_arg =
   Arg.(
@@ -101,6 +136,24 @@ let test_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
 
+let seeds_arg =
+  Arg.(
+    value
+    & opt (list int) []
+    & info [ "seeds" ]
+      ~doc:
+        "Comma-separated seed list, e.g. 41,42,43: replicate the throughput pair once per \
+         seed and print mean +- stddev instead of a single-run report.  Runs \
+         $(b,--jobs) cells in parallel; the summary is identical at every job count.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (C.Pool.default_jobs ())
+    & info [ "j"; "jobs" ]
+      ~doc:
+        "Number of worker domains for $(b,--seeds) sweeps (default: ROFS_JOBS, or 1).")
+
 let readahead_arg =
   Arg.(value & opt int 4 & info [ "readahead" ] ~doc:"Read-ahead factor for sequential scans.")
 
@@ -124,6 +177,7 @@ let cmd =
     (Cmd.info "rofs_sim" ~version:C.version ~doc)
     Term.(
       const run $ policy_arg $ sizes_arg $ grow_arg $ unclustered_arg $ fit_arg $ ranges_arg
-      $ block_arg $ workload_arg $ test_arg $ seed_arg $ readahead_arg $ scheduler_arg)
+      $ block_arg $ workload_arg $ test_arg $ seed_arg $ seeds_arg $ jobs_arg $ readahead_arg
+      $ scheduler_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -34,6 +34,14 @@ module Vec = Rofs_util.Vec
 module Units = Rofs_util.Units
 module Table = Rofs_util.Table
 
+(** {1 Parallelism}
+
+    Domain worker pool for independent simulation cells: [Pool.map]
+    returns results in input order, so experiment aggregates are
+    byte-identical at every job count ([--jobs] / [ROFS_JOBS]). *)
+
+module Pool = Rofs_par.Pool
+
 (** {1 Disk system} *)
 
 module Geometry = Rofs_disk.Geometry

@@ -52,20 +52,78 @@ let run_throughput ?config spec workload =
 
 type summary = { mean : float; stddev : float; runs : int }
 
-let run_throughput_seeds ?(config = Engine.default_config) ~seeds spec workload =
-  if seeds = [] then invalid_arg "Experiment.run_throughput_seeds: no seeds";
+let summarize stats =
+  {
+    mean = Rofs_util.Stats.mean stats;
+    stddev = Rofs_util.Stats.stddev stats;
+    runs = Rofs_util.Stats.count stats;
+  }
+
+(* Fold the per-seed reports with [Stats.add] in seed order.  Each cell
+   is computed in full isolation, so this fold sees exactly the sample
+   sequence the pre-pool serial loop produced — summaries are
+   byte-identical at every job count. *)
+let summarize_pairs pairs =
   let app_stats = Rofs_util.Stats.create () and seq_stats = Rofs_util.Stats.create () in
-  List.iter
-    (fun seed ->
-      let app, seq = run_throughput ~config:{ config with Engine.seed } spec workload in
+  Array.iter
+    (fun ((app : Engine.throughput_report), (seq : Engine.throughput_report)) ->
       Rofs_util.Stats.add app_stats app.Engine.pct_of_max;
       Rofs_util.Stats.add seq_stats seq.Engine.pct_of_max)
-    seeds;
-  let summarize stats =
-    {
-      mean = Rofs_util.Stats.mean stats;
-      stddev = Rofs_util.Stats.stddev stats;
-      runs = Rofs_util.Stats.count stats;
-    }
-  in
+    pairs;
   (summarize app_stats, summarize seq_stats)
+
+let run_throughput_pairs ?(config = Engine.default_config) ?jobs ~seeds spec workload =
+  if seeds = [] then invalid_arg "Experiment.run_throughput_seeds: no seeds";
+  Rofs_par.Pool.map ?jobs
+    (fun seed -> run_throughput ~config:{ config with Engine.seed } spec workload)
+    (Array.of_list seeds)
+
+let run_throughput_seeds ?config ?jobs ~seeds spec workload =
+  summarize_pairs (run_throughput_pairs ?config ?jobs ~seeds spec workload)
+
+type matrix_cell = {
+  m_policy : string;
+  m_workload : string;
+  m_application : summary;
+  m_sequential : summary;
+}
+
+let run_matrix ?(config = Engine.default_config) ?jobs ~seeds ~policies workloads =
+  if seeds = [] then invalid_arg "Experiment.run_matrix: no seeds";
+  if policies = [] then invalid_arg "Experiment.run_matrix: no policies";
+  if workloads = [] then invalid_arg "Experiment.run_matrix: no workloads";
+  (* One flat task list over the whole grid so short and long cells
+     load-balance across the pool; cells are generated (and summarized)
+     in policy-major, workload-minor, seed order, so the output is
+     independent of scheduling. *)
+  let cells =
+    List.concat_map
+      (fun (pname, spec_of) ->
+        List.concat_map
+          (fun (w : Rofs_workload.Workload.t) ->
+            let spec = spec_of w in
+            List.map (fun seed -> (pname, spec, w, seed)) seeds)
+          workloads)
+      policies
+  in
+  let results =
+    Rofs_par.Pool.map ?jobs
+      (fun (_, spec, w, seed) -> run_throughput ~config:{ config with Engine.seed } spec w)
+      (Array.of_list cells)
+  in
+  let nseeds = List.length seeds and nworkloads = List.length workloads in
+  List.concat
+    (List.mapi
+       (fun pi (pname, _) ->
+         List.mapi
+           (fun wi (w : Rofs_workload.Workload.t) ->
+             let block = Array.sub results (((pi * nworkloads) + wi) * nseeds) nseeds in
+             let app, seq = summarize_pairs block in
+             {
+               m_policy = pname;
+               m_workload = w.Rofs_workload.Workload.name;
+               m_application = app;
+               m_sequential = seq;
+             })
+           workloads)
+       policies)

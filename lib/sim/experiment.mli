@@ -40,8 +40,23 @@ val run_throughput :
 type summary = { mean : float; stddev : float; runs : int }
 (** Aggregate of one metric over repeated runs. *)
 
+val run_throughput_pairs :
+  ?config:Engine.config ->
+  ?jobs:int ->
+  seeds:int list ->
+  policy_spec ->
+  Rofs_workload.Workload.t ->
+  (Engine.throughput_report * Engine.throughput_report) array
+(** One (application, sequential) report pair per seed, in seed order.
+    Each seed's cell builds its own RNG, policy and engine, so cells are
+    fully independent; with [jobs > 1] they run concurrently on a
+    {!Rofs_par.Pool} and each cell's reports are identical to what a
+    serial run produces.  Raises [Invalid_argument] on an empty seed
+    list. *)
+
 val run_throughput_seeds :
   ?config:Engine.config ->
+  ?jobs:int ->
   seeds:int list ->
   policy_spec ->
   Rofs_workload.Workload.t ->
@@ -49,4 +64,34 @@ val run_throughput_seeds :
 (** Repeat the throughput pair once per seed and summarize the
     application and sequential percentages — mean and (unbiased) sample
     deviation.  Useful for stating how sensitive a configuration's
-    numbers are to the stochastic draws. *)
+    numbers are to the stochastic draws.
+
+    [jobs] (default {!Rofs_par.Pool.default_jobs}, i.e. [ROFS_JOBS] or
+    1) fans the per-seed simulations across that many domains.  The
+    per-seed samples are folded in seed order regardless of job count,
+    so the result is {e byte-identical} to the serial path — [~jobs:4]
+    and [~jobs:1] agree bit for bit (enforced by [test/test_par.ml]'s
+    frozen goldens). *)
+
+type matrix_cell = {
+  m_policy : string;
+  m_workload : string;
+  m_application : summary;
+  m_sequential : summary;
+}
+(** One (policy, workload) cell of a replicated grid. *)
+
+val run_matrix :
+  ?config:Engine.config ->
+  ?jobs:int ->
+  seeds:int list ->
+  policies:(string * (Rofs_workload.Workload.t -> policy_spec)) list ->
+  Rofs_workload.Workload.t list ->
+  matrix_cell list
+(** Run every (policy, workload, seed) cell of the grid — policies may
+    depend on the workload, as the paper's extent ranges and fixed block
+    sizes do — and summarize each (policy, workload) pair over its
+    seeds.  The whole grid is one flat task list on the pool, so cells
+    load-balance across domains; output order (policy-major,
+    workload-minor) and every value are independent of [jobs].  Raises
+    [Invalid_argument] if any of the three axes is empty. *)

@@ -28,9 +28,32 @@ let count t = t.n
 let mean t = if t.n = 0 then 0. else t.mean
 let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
 let stddev t = sqrt (variance t)
-let min_value t = t.minimum
-let max_value t = t.maximum
+let min_value t = if t.n = 0 then None else Some t.minimum
+let max_value t = if t.n = 0 then None else Some t.maximum
 let total t = t.sum
+let copy t = { n = t.n; mean = t.mean; m2 = t.m2; minimum = t.minimum; maximum = t.maximum; sum = t.sum }
+
+(* Chan et al. pairwise combination of two Welford accumulators.  Count,
+   sum and extrema combine exactly; mean and m2 agree with a single-pass
+   [add] stream algebraically but not bit-for-bit (the update order
+   differs), so callers that need bit-stable aggregates must fold [add]
+   in a fixed sample order instead. *)
+let merge a b =
+  if a.n = 0 then copy b
+  else if b.n = 0 then copy a
+  else begin
+    let na = float_of_int a.n and nb = float_of_int b.n in
+    let n = na +. nb in
+    let delta = b.mean -. a.mean in
+    {
+      n = a.n + b.n;
+      mean = a.mean +. (delta *. (nb /. n));
+      m2 = a.m2 +. b.m2 +. (delta *. delta *. (na *. nb /. n));
+      minimum = Float.min a.minimum b.minimum;
+      maximum = Float.max a.maximum b.maximum;
+      sum = a.sum +. b.sum;
+    }
+  end
 
 module Series = struct
   type t = {

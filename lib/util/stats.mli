@@ -18,13 +18,26 @@ val variance : t -> float
 (** Unbiased sample variance; [0.] with fewer than two samples. *)
 
 val stddev : t -> float
-val min_value : t -> float
-(** Smallest sample; [nan] when empty. *)
+val min_value : t -> float option
+(** Smallest sample; [None] when empty (so merging empty partitions can
+    never poison extrema with [nan]). *)
 
-val max_value : t -> float
-(** Largest sample; [nan] when empty. *)
+val max_value : t -> float option
+(** Largest sample; [None] when empty. *)
 
 val total : t -> float
+
+val copy : t -> t
+(** Independent snapshot of the accumulator. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh accumulator equivalent to having seen [a]'s
+    samples followed by [b]'s, per Chan et al.'s parallel combination of
+    Welford states.  Count, sum, minimum and maximum are exact; mean and
+    variance agree with a single-pass {!add} stream algebraically but
+    only to floating-point re-association (within ~1e-9 relative for
+    well-scaled data).  Merging with an empty accumulator is the
+    identity.  Neither argument is mutated. *)
 
 module Series : sig
   type nonrec t

@@ -226,16 +226,19 @@ let test_stats_basic () =
   check_int "count" 8 (Stats.count s);
   check_float "mean" 5. (Stats.mean s);
   check_bool "variance (unbiased)" true (Float.abs (Stats.variance s -. (32. /. 7.)) < 1e-9);
-  check_float "min" 2. (Stats.min_value s);
-  check_float "max" 9. (Stats.max_value s);
-  check_float "total" 40. (Stats.total s)
+  Alcotest.(check (option (float 0.))) "min" (Some 2.) (Stats.min_value s);
+  Alcotest.(check (option (float 0.))) "max" (Some 9.) (Stats.max_value s);
+  check_float "total" 40. (Stats.total s);
+  let empty = Stats.create () in
+  Alcotest.(check (option (float 0.))) "empty min" None (Stats.min_value empty);
+  Alcotest.(check (option (float 0.))) "empty max" None (Stats.max_value empty)
 
 let test_stats_single () =
   let s = Stats.create () in
   Stats.add s 3.5;
   check_float "mean" 3.5 (Stats.mean s);
   check_float "variance" 0. (Stats.variance s);
-  check_float "min=max" 3.5 (Stats.min_value s)
+  Alcotest.(check (option (float 0.))) "min=max" (Some 3.5) (Stats.min_value s)
 
 let test_series_stability () =
   let s = Stats.Series.create ~window:3 ~tolerance:0.1 in
