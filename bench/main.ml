@@ -21,6 +21,7 @@ let benches =
     ("sweep", "fig6 replicated over 10 seeds (mean +- stddev)", Bench_sweep.run);
     ("ablation", "stripe-unit and RAID ablations (Section 6)", Bench_ablation.run);
     ("sched", "per-drive I/O scheduler ablation", Bench_sched.run);
+    ("fault", "degradation table under drive failure and rebuild", Bench_fault.run);
     ("extension", "log-structured allocation extension (Section 6)", Bench_extension.run);
     ("micro", "allocator micro-benchmarks (Bechamel)", Bench_micro.run);
   ]

@@ -61,19 +61,48 @@ let run_sweep ~config ~jobs ~seeds ~policy spec (workload : C.Workload.t) =
   line "sequential" (merged (fun (_, (seq : C.Engine.throughput_report)) -> seq.C.Engine.pct_of_max))
 
 let run policy sizes grow unclustered fit ranges block workload_name test seed seeds jobs
-    readahead scheduler =
+    readahead scheduler layout scale mttf mttr media_error_rate rebuild_rate measure_ms =
   match C.Workload.by_name workload_name with
   | None ->
       Printf.eprintf "unknown workload %S (expected ts, tp or sc)\n" workload_name;
       exit 2
   | Some workload ->
+      let workload =
+        if scale = 1.0 then workload else C.Workload.scaled workload ~factor:scale
+      in
       let spec =
         build_spec ~policy ~sizes ~grow ~clustered:(not unclustered) ~fit ~ranges ~block
           ~workload
       in
-      let config =
-        { C.Engine.default_config with seed; readahead_factor = readahead; scheduler }
+      let faults =
+        {
+          C.Fault_plan.none with
+          C.Fault_plan.seed;
+          mttf_ms = mttf;
+          mttr_ms = mttr;
+          media_error_rate;
+          rebuild_rate_bytes_per_ms = rebuild_rate;
+        }
       in
+      let array_config stripe_unit =
+        match layout with
+        | `Striped -> C.Array_model.Striped { stripe_unit }
+        | `Mirrored -> C.Array_model.Mirrored { stripe_unit }
+        | `Raid5 -> C.Array_model.Raid5 { stripe_unit }
+        | `Parity -> C.Array_model.Parity_striped
+      in
+      let config =
+        {
+          C.Engine.default_config with
+          C.Engine.seed;
+          readahead_factor = readahead;
+          scheduler;
+          array_config;
+          faults;
+          max_measure_ms = measure_ms;
+        }
+      in
+      C.Engine.validate_config config;
       if seeds <> [] then run_sweep ~config ~jobs ~seeds ~policy spec workload
       else begin
         Printf.printf "seed=%d scheduler=%s\n%!" seed (C.Sched_policy.name scheduler);
@@ -82,16 +111,25 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed s
             Some (C.Experiment.run_allocation ~config spec workload)
           else None
         in
-        let application, sequential =
+        let application, sequential, fault_report =
           if test = All || test = Throughput then begin
-            let app, seq = C.Experiment.run_throughput ~config spec workload in
-            (Some app, Some seq)
+            (* Drive the engine directly (same protocol as
+               Experiment.run_throughput) so the fault report of the
+               measured system is available afterwards. *)
+            let engine = C.Experiment.make_engine ~config spec workload in
+            C.Engine.fill_to_lower_bound engine;
+            let app = C.Engine.run_application_test engine in
+            let seq = C.Engine.run_sequential_test engine in
+            let faults_seen =
+              if C.Fault_plan.enabled faults then Some (C.Engine.fault_report engine) else None
+            in
+            (Some app, Some seq, faults_seen)
           end
-          else (None, None)
+          else (None, None, None)
         in
         print_string
-          (C.Report.summary ~workload:workload.C.Workload.name ~policy ~alloc ~application
-             ~sequential)
+          (C.Report.summary ?faults:fault_report ~workload:workload.C.Workload.name ~policy
+             ~alloc ~application ~sequential ())
       end
 
 let policy_arg =
@@ -171,6 +209,61 @@ let scheduler_arg =
     & opt sched_conv C.Sched_policy.Fcfs
     & info [ "scheduler" ] ~doc:"Per-drive request scheduler: fcfs | sstf | scan | clook.")
 
+let layout_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("striped", `Striped); ("mirrored", `Mirrored); ("raid5", `Raid5);
+             ("parity", `Parity) ])
+        `Striped
+    & info [ "layout" ] ~doc:"Array layout: striped | mirrored | raid5 | parity.")
+
+let scale_arg =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "scale" ]
+      ~doc:
+        "Scale the workload's file counts by this factor (mirrored arrays halve the data \
+         capacity; e.g. $(b,--scale 0.4) makes the standard workloads fit).")
+
+let mttf_arg =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "mttf" ]
+      ~doc:
+        "Mean time to failure per drive in simulated ms (exponential); 0 disables drive \
+         failures.")
+
+let mttr_arg =
+  Arg.(
+    value
+    & opt float 60_000.
+    & info [ "mttr" ] ~doc:"Mean time to repair a failed drive in simulated ms (exponential).")
+
+let media_error_rate_arg =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "media-error-rate" ]
+      ~doc:"Probability that one physical chunk request suffers a transient media error.")
+
+let rebuild_rate_arg =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "rebuild-rate" ]
+      ~doc:"Pacing cap on online-rebuild traffic in bytes/ms; 0 rebuilds flat-out.")
+
+let measure_ms_arg =
+  Arg.(
+    value
+    & opt float 900_000.
+    & info [ "measure-ms" ]
+      ~doc:"Cap on measured simulated time per throughput test, in ms.")
+
 let cmd =
   let doc = "simulate read-optimized file system allocation policies (Seltzer & Stonebraker 1991)" in
   Cmd.v
@@ -178,6 +271,31 @@ let cmd =
     Term.(
       const run $ policy_arg $ sizes_arg $ grow_arg $ unclustered_arg $ fit_arg $ ranges_arg
       $ block_arg $ workload_arg $ test_arg $ seed_arg $ seeds_arg $ jobs_arg $ readahead_arg
-      $ scheduler_arg)
+      $ scheduler_arg $ layout_arg $ scale_arg $ mttf_arg $ mttr_arg $ media_error_rate_arg
+      $ rebuild_rate_arg $ measure_ms_arg)
 
-let () = exit (Cmd.eval cmd)
+let usage_hint =
+  "usage: rofs_sim [--policy P] [-w ts|tp|sc] [--layout L] [--scheduler S] [--test T] \
+   [--mttf MS] [--mttr MS] [--media-error-rate P] [--rebuild-rate B] -- see 'rofs_sim --help'"
+
+(* Exit 2 with a one-line hint on bad input — a config mistake is the
+   user's problem, not a crash: no OCaml backtrace, no multi-page
+   cmdliner usage dump. *)
+let () =
+  let errbuf = Buffer.create 256 in
+  let errfmt = Format.formatter_of_buffer errbuf in
+  match Cmd.eval ~catch:false ~err:errfmt cmd with
+  | code when code = Cmd.Exit.cli_error ->
+      Format.pp_print_flush errfmt ();
+      (match String.split_on_char '\n' (String.trim (Buffer.contents errbuf)) with
+      | first :: _ when first <> "" -> Printf.eprintf "%s\n" first
+      | _ -> prerr_endline "rofs_sim: invalid command line");
+      prerr_endline usage_hint;
+      exit 2
+  | code ->
+      Format.pp_print_flush errfmt ();
+      prerr_string (Buffer.contents errbuf);
+      exit code
+  | exception (Invalid_argument msg | Failure msg) ->
+      Printf.eprintf "rofs_sim: %s\n%s\n" msg usage_hint;
+      exit 2

@@ -42,6 +42,15 @@ module Table = Rofs_util.Table
 
 module Pool = Rofs_par.Pool
 
+(** {1 Fault injection}
+
+    Deterministic seeded fault plans (drive failures / repairs, media
+    errors) and the runtime fault state the disk array keeps: drive
+    health, sector remaps, dirty regions, degraded-mode counters. *)
+
+module Fault_plan = Rofs_fault.Plan
+module Fault = Rofs_fault.State
+
 (** {1 Disk system} *)
 
 module Geometry = Rofs_disk.Geometry

@@ -1,5 +1,7 @@
 module Sched_policy = Rofs_sched.Policy
 module Squeue = Rofs_sched.Scheduler.Queue
+module Fault_plan = Rofs_fault.Plan
+module Fault = Rofs_fault.State
 
 type config =
   | Striped of { stripe_unit : int }
@@ -42,9 +44,12 @@ type t = {
   queues : req Squeue.t array;  (** pending requests, one dispatch queue per drive *)
   in_service : req option array;  (** the request each drive is currently moving *)
   mutable next_op_id : int;
+  fault : Fault.t;  (** drive health, media-error and dirty-region state *)
+  media_on : bool;  (** media faults configured: consult [fault] per chunk *)
 }
 
-let create_mixed ?(seed = 0) ?(scheduler = Sched_policy.Fcfs) ~geometries config =
+let create_mixed ?(seed = 0) ?(scheduler = Sched_policy.Fcfs) ?(faults = Fault_plan.none)
+    ~geometries config =
   let disks = List.length geometries in
   if disks <= 0 then invalid_arg "Array_model.create: need at least one disk";
   List.iter
@@ -75,16 +80,19 @@ let create_mixed ?(seed = 0) ?(scheduler = Sched_policy.Fcfs) ~geometries config
     queues = Array.init disks (fun _ -> Squeue.create scheduler);
     in_service = Array.make disks None;
     next_op_id = 0;
+    fault = Fault.create faults ~drives:disks;
+    media_on = Fault_plan.media_faults faults;
   }
 
-let create ?(geometry = Geometry.cdc_wren_iv) ?seed ?scheduler ~disks config =
+let create ?(geometry = Geometry.cdc_wren_iv) ?seed ?scheduler ?faults ~disks config =
   if disks <= 0 then invalid_arg "Array_model.create: need at least one disk";
-  create_mixed ?seed ?scheduler ~geometries:(List.init disks (fun _ -> geometry)) config
+  create_mixed ?seed ?scheduler ?faults ~geometries:(List.init disks (fun _ -> geometry)) config
 
 let config t = t.config
 let disks t = Array.length t.drives
 let geometry t = t.geometry
 let scheduler t = t.scheduler
+let fault_state t = t.fault
 
 let drive_capacity t = t.drive_capacity
 
@@ -140,15 +148,45 @@ let map_striped ~stripe ~place (addr, len) =
 let load t d =
   Squeue.length t.queues.(d) + (match t.in_service.(d) with Some _ -> 1 | None -> 0)
 
+(* Reconstruct one unit of a dead drive from its redundancy group: read
+   the same [take]-byte region of every surviving member, paying each
+   read's real positioning and transfer time.  The first surviving chunk
+   carries the data credit (the caller asked for [take] data bytes); the
+   others are redundancy traffic.  A second unavailable member means the
+   group cannot cover the loss. *)
+let reconstruct_chunks t ~dead ~members ~offset ~take =
+  Fault.note_reconstructed_read t.fault;
+  let surviving =
+    List.filter_map
+      (fun d ->
+        if d = dead then None
+        else if Fault.readable t.fault ~drive:d ~offset ~bytes:take then
+          Some { disk = d; offset; bytes = take; parity = true; rmw = false }
+        else raise (Fault.Data_loss { drive = dead; offset; bytes = take }))
+      members
+  in
+  match surviving with
+  | first :: rest -> { first with parity = false } :: rest
+  | [] -> raise (Fault.Data_loss { drive = dead; offset; bytes = take })
+
 let chunks_of_extent ?(queued = false) t ~kind (addr, len) =
   if len < 0 || addr < 0 || addr + len > capacity_bytes t then
     invalid_arg "Array_model: extent outside the array";
   let n = disks t in
+  let all_drives = List.init n Fun.id in
   match t.config with
   | Striped { stripe_unit } ->
       let place idx within take =
         let disk = idx mod n in
         let offset = (idx / n * stripe_unit) + within in
+        (* No redundancy: a dead drive's units are simply gone, and a
+           write that cannot land has nowhere else to go. *)
+        let lost =
+          match kind with
+          | Read -> not (Fault.readable t.fault ~drive:disk ~offset ~bytes:take)
+          | Write -> not (Fault.writable t.fault ~drive:disk)
+        in
+        if lost then raise (Fault.Data_loss { drive = disk; offset; bytes = take });
         [ data_chunk disk offset take ]
       in
       map_striped ~stripe:stripe_unit ~place (addr, len)
@@ -160,24 +198,46 @@ let chunks_of_extent ?(queued = false) t ~kind (addr, len) =
         let primary = 2 * pair and secondary = (2 * pair) + 1 in
         match kind with
         | Read ->
-            (* Prefer the arm already streaming this extent; otherwise
-               the shorter queue (dispatch-queue depth when scheduling is
-               queued, the busy clock on the FCFS fast path). *)
+            let pok = Fault.readable t.fault ~drive:primary ~offset ~bytes:take in
+            let sok = Fault.readable t.fault ~drive:secondary ~offset ~bytes:take in
             let disk =
-              if Drive.next_sequential t.drives.(primary) = offset then primary
-              else if Drive.next_sequential t.drives.(secondary) = offset then secondary
-              else if queued && load t primary <> load t secondary then
-                if load t primary < load t secondary then primary else secondary
-              else if Drive.busy_until t.drives.(primary) <= Drive.busy_until t.drives.(secondary)
-              then primary
-              else secondary
+              if pok && sok then
+                (* Both arms alive: prefer the arm already streaming this
+                   extent; otherwise the shorter queue (dispatch-queue
+                   depth when scheduling is queued, the busy clock on the
+                   FCFS fast path). *)
+                if Drive.next_sequential t.drives.(primary) = offset then primary
+                else if Drive.next_sequential t.drives.(secondary) = offset then secondary
+                else if queued && load t primary <> load t secondary then
+                  if load t primary < load t secondary then primary else secondary
+                else if Drive.busy_until t.drives.(primary) <= Drive.busy_until t.drives.(secondary)
+                then primary
+                else secondary
+              else if pok || sok then begin
+                (* Failover: the surviving arm serves the read alone. *)
+                Fault.note_reconstructed_read t.fault;
+                if pok then primary else secondary
+              end
+              else raise (Fault.Data_loss { drive = primary; offset; bytes = take })
             in
             [ data_chunk disk offset take ]
         | Write ->
-            [
-              data_chunk primary offset take;
-              { disk = secondary; offset; bytes = take; parity = true; rmw = false };
-            ]
+            let pok = Fault.writable t.fault ~drive:primary in
+            let sok = Fault.writable t.fault ~drive:secondary in
+            if pok && sok then
+              [
+                data_chunk primary offset take;
+                { disk = secondary; offset; bytes = take; parity = true; rmw = false };
+              ]
+            else if pok || sok then begin
+              (* Degraded write: skip the dead arm and remember what it
+                 missed; the rebuild sweep will restore it. *)
+              Fault.note_degraded_write t.fault;
+              let dead = if pok then secondary else primary in
+              Fault.log_dirty t.fault ~drive:dead ~offset ~bytes:take;
+              [ data_chunk (if pok then primary else secondary) offset take ]
+            end
+            else raise (Fault.Data_loss { drive = primary; offset; bytes = take })
       in
       map_striped ~stripe:stripe_unit ~place (addr, len)
   | Raid5 { stripe_unit } ->
@@ -189,14 +249,36 @@ let chunks_of_extent ?(queued = false) t ~kind (addr, len) =
         let disk = if pos < parity_disk then pos else pos + 1 in
         let offset = (row * stripe_unit) + within in
         match kind with
-        | Read -> [ data_chunk disk offset take ]
+        | Read ->
+            if Fault.readable t.fault ~drive:disk ~offset ~bytes:take then
+              [ data_chunk disk offset take ]
+            else
+              (* Degraded read: XOR of the row's surviving units. *)
+              reconstruct_chunks t ~dead:disk ~members:all_drives ~offset ~take
         | Write ->
-            (* Small-write penalty: read-modify-write of the data unit
-               and of the row's parity unit. *)
-            [
-              { disk; offset; bytes = take; parity = false; rmw = true };
-              { disk = parity_disk; offset; bytes = take; parity = true; rmw = true };
-            ]
+            let dok = Fault.writable t.fault ~drive:disk in
+            let pok = Fault.writable t.fault ~drive:parity_disk in
+            if dok && pok then
+              (* Small-write penalty: read-modify-write of the data unit
+                 and of the row's parity unit. *)
+              [
+                { disk; offset; bytes = take; parity = false; rmw = true };
+                { disk = parity_disk; offset; bytes = take; parity = true; rmw = true };
+              ]
+            else if pok then begin
+              (* Dead data arm: keep the row's parity current so the data
+                 is recoverable, and log the dirty region. *)
+              Fault.note_degraded_write t.fault;
+              Fault.log_dirty t.fault ~drive:disk ~offset ~bytes:take;
+              [ { disk = parity_disk; offset; bytes = take; parity = true; rmw = true } ]
+            end
+            else if dok then begin
+              (* Dead parity arm: plain write, nothing to read-modify. *)
+              Fault.note_degraded_write t.fault;
+              Fault.log_dirty t.fault ~drive:parity_disk ~offset ~bytes:take;
+              [ { disk; offset; bytes = take; parity = false; rmw = false } ]
+            end
+            else raise (Fault.Data_loss { drive = disk; offset; bytes = take })
       in
       map_striped ~stripe:stripe_unit ~place (addr, len)
   | Parity_striped ->
@@ -212,14 +294,31 @@ let chunks_of_extent ?(queued = false) t ~kind (addr, len) =
           let data = data_chunk disk within take in
           let chunks =
             match kind with
-            | Read -> [ data ]
+            | Read ->
+                if Fault.readable t.fault ~drive:disk ~offset:within ~bytes:take then [ data ]
+                else
+                  reconstruct_chunks t ~dead:disk ~members:all_drives ~offset:within ~take
             | Write ->
                 (* Parity for drive d's data lives in the parity region
                    of drive d+1 (mod N), scaled down N-1 : 1. *)
                 let pdisk = (disk + 1) mod n in
                 let poff = parity_base + (within mod parity_span) in
                 let pbytes = min take (drive_capacity t - poff) in
-                [ data; { disk = pdisk; offset = poff; bytes = pbytes; parity = true; rmw = true } ]
+                let dok = Fault.writable t.fault ~drive:disk in
+                let pok = Fault.writable t.fault ~drive:pdisk in
+                if dok && pok then
+                  [ data; { disk = pdisk; offset = poff; bytes = pbytes; parity = true; rmw = true } ]
+                else if pok then begin
+                  Fault.note_degraded_write t.fault;
+                  Fault.log_dirty t.fault ~drive:disk ~offset:within ~bytes:take;
+                  [ { disk = pdisk; offset = poff; bytes = pbytes; parity = true; rmw = true } ]
+                end
+                else if dok then begin
+                  Fault.note_degraded_write t.fault;
+                  Fault.log_dirty t.fault ~drive:pdisk ~offset:poff ~bytes:pbytes;
+                  [ data ]
+                end
+                else raise (Fault.Data_loss { drive = disk; offset = within; bytes = take })
           in
           go (addr + take) (len - take) (List.rev_append chunks acc)
         end
@@ -227,6 +326,21 @@ let chunks_of_extent ?(queued = false) t ~kind (addr, len) =
       go addr len []
 
 type service = { began : float; finished : float }
+
+(* Extra service time charged by the media-fault model for one chunk
+   request, pushed onto the drive's busy clock.  [0.] — and no fault-RNG
+   draw — when media faults are off. *)
+let media_stall t ~disk ~offset ~bytes ~default =
+  if not t.media_on then default
+  else begin
+    let drive = t.drives.(disk) in
+    let g = Drive.geometry drive in
+    let extra =
+      Fault.media_extra_ms t.fault ~drive:disk ~rotation_ms:g.Geometry.rotation_ms
+        ~sector_bytes:g.Geometry.sector_bytes ~offset ~bytes
+    in
+    Drive.stall drive ~ms:extra
+  end
 
 let perform_chunks t ~now chunks =
   (* Issue chunks drive by drive in arrival order; each drive's queue
@@ -239,12 +353,12 @@ let perform_chunks t ~now chunks =
     let start = Float.max now (Drive.busy_until t.drives.(c.disk)) in
     if start < !began then began := start;
     let passes = if c.rmw then 2 else 1 in
+    let done_at = ref start in
     for _ = 1 to passes do
-      let done_at =
-        Drive.access t.drives.(c.disk) ~now ~rng:t.rng ~offset:c.offset ~bytes:c.bytes
-      in
-      if done_at > !finish then finish := done_at
+      done_at := Drive.access t.drives.(c.disk) ~now ~rng:t.rng ~offset:c.offset ~bytes:c.bytes
     done;
+    let done_at = media_stall t ~disk:c.disk ~offset:c.offset ~bytes:c.bytes ~default:!done_at in
+    if done_at > !finish then finish := done_at;
     if not c.parity then t.bytes_moved <- t.bytes_moved + c.bytes
   in
   List.iter issue chunks;
@@ -300,6 +414,9 @@ let dispatch t d ~now =
             Drive.serve drive ~start ~rng:t.rng ~offset:req.r_offset ~bytes:req.r_bytes
               ~passes:req.r_passes
           in
+          let finish =
+            media_stall t ~disk:d ~offset:req.r_offset ~bytes:req.r_bytes ~default:finish
+          in
           req.r_start <- start;
           req.r_finish <- finish;
           if start < req.r_op.began then req.r_op.began <- start;
@@ -316,8 +433,9 @@ let dispatch t d ~now =
             }
     end
 
-let submit t ~now ~kind ~extents =
-  let chunks = List.concat_map (chunks_of_extent ~queued:true t ~kind) extents in
+(* Enqueue one operation's already-mapped physical chunks and start
+   every idle drive that received work. *)
+let submit_chunks t ~now chunks =
   let op =
     {
       op_id = t.next_op_id;
@@ -348,9 +466,16 @@ let submit t ~now ~kind ~extents =
     chunks;
   (op, List.filter_map (fun d -> dispatch t d ~now) (List.rev !touched))
 
+let submit t ~now ~kind ~extents =
+  submit_chunks t ~now (List.concat_map (chunks_of_extent ~queued:true t ~kind) extents)
+
 let complete t ~drive =
   match t.in_service.(drive) with
-  | None -> invalid_arg "Array_model.complete: drive has nothing in service"
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Array_model.complete: drive %d has nothing in service (queue depth %d)" drive
+           (Squeue.length t.queues.(drive)))
   | Some req ->
       t.in_service.(drive) <- None;
       let op = req.r_op in
@@ -360,6 +485,88 @@ let complete t ~drive =
       ({ c_op = op; c_op_done = op.chunks_left = 0 }, next)
 
 let pending t ~drive = load t drive
+
+(* ------------------------------------------------------------------ *)
+(* Drive failure, repair and online rebuild                            *)
+
+let check_drive t drive =
+  if drive < 0 || drive >= disks t then
+    invalid_arg (Printf.sprintf "Array_model: drive %d of %d" drive (disks t))
+
+let fail_drive t ~drive =
+  check_drive t drive;
+  Fault.fail t.fault ~drive
+
+let repair_drive t ~drive =
+  check_drive t drive;
+  (* A non-redundant layout has nothing to reconstruct from: the drive
+     returns to service immediately (its old contents were already
+     reported lost); redundant layouts enter the rebuild sweep. *)
+  let rebuild = match t.config with Striped _ -> false | _ -> true in
+  Fault.repair t.fault ~drive ~rebuild
+
+let drive_state t ~drive =
+  check_drive t drive;
+  match Fault.status t.fault ~drive with
+  | Fault.Healthy -> `Healthy
+  | Fault.Failed -> `Failed
+  | Fault.Rebuilding r -> `Rebuilding (float_of_int r.pos /. float_of_int (drive_capacity t))
+
+(* The drives a rebuild of [drive] reconstructs from. *)
+let rebuild_sources t ~drive =
+  match t.config with
+  | Striped _ -> []
+  | Mirrored _ -> [ drive lxor 1 ]
+  | Raid5 _ | Parity_striped -> List.filter (fun d -> d <> drive) (List.init (disks t) Fun.id)
+
+type rebuild_step =
+  | Rebuild_idle
+  | Rebuild_blocked
+  | Rebuild_done
+  | Rebuild_sync of float
+  | Rebuild_queued of op * dispatched list
+
+let rebuild_step t ~now ~queued ~drive =
+  check_drive t drive;
+  match Fault.status t.fault ~drive with
+  | Fault.Healthy | Fault.Failed -> Rebuild_idle
+  | Fault.Rebuilding r ->
+      if r.pos >= drive_capacity t then begin
+        Fault.finish_rebuild t.fault ~drive;
+        Rebuild_done
+      end
+      else begin
+        let pos = r.pos in
+        let bytes =
+          min (Fault.config t.fault).Fault_plan.rebuild_chunk_bytes (drive_capacity t - pos)
+        in
+        let sources = rebuild_sources t ~drive in
+        if sources = [] then begin
+          Fault.finish_rebuild t.fault ~drive;
+          Rebuild_done
+        end
+        else if
+          List.exists
+            (fun s -> not (Fault.readable t.fault ~drive:s ~offset:pos ~bytes))
+            sources
+        then Rebuild_blocked
+        else begin
+          (* Read the region from every redundancy-group member still
+             standing, write the reconstruction to the returning drive.
+             All of it is redundancy traffic — rebuild I/O never counts
+             as data throughput, but it competes for the arms. *)
+          let chunks =
+            List.map (fun s -> { disk = s; offset = pos; bytes; parity = true; rmw = false }) sources
+            @ [ { disk = drive; offset = pos; bytes; parity = true; rmw = false } ]
+          in
+          Fault.rebuild_advance t.fault ~drive ~bytes;
+          if queued then begin
+            let op, started = submit_chunks t ~now chunks in
+            Rebuild_queued (op, started)
+          end
+          else Rebuild_sync (perform_chunks t ~now chunks).finished
+        end
+      end
 
 let time_of t ~kind ~extents =
   let geometries = Array.to_list (Array.map Drive.geometry t.drives) in

@@ -31,16 +31,29 @@ type kind = Read | Write
 type t
 
 val create :
-  ?geometry:Geometry.t -> ?seed:int -> ?scheduler:Rofs_sched.Policy.t -> disks:int -> config -> t
+  ?geometry:Geometry.t ->
+  ?seed:int ->
+  ?scheduler:Rofs_sched.Policy.t ->
+  ?faults:Rofs_fault.Plan.config ->
+  disks:int ->
+  config ->
+  t
 (** [create ~disks config] builds an array of [disks] identical drives
     (default {!Geometry.cdc_wren_iv}).  [seed] (default 0) drives the
     rotational-latency draws.  [scheduler] (default [Fcfs]) selects the
     per-drive dispatch policy used by the queued path ({!submit} /
     {!complete}); the synchronous {!service} path is FCFS by
-    construction. *)
+    construction.  [faults] (default {!Rofs_fault.Plan.none}) configures
+    the media-error model and rebuild pacing; with the default, the
+    array behaves byte-identically to one without a fault subsystem. *)
 
 val create_mixed :
-  ?seed:int -> ?scheduler:Rofs_sched.Policy.t -> geometries:Geometry.t list -> config -> t
+  ?seed:int ->
+  ?scheduler:Rofs_sched.Policy.t ->
+  ?faults:Rofs_fault.Plan.config ->
+  geometries:Geometry.t list ->
+  config ->
+  t
 (** Heterogeneous array (Section 2.1 allows "multiple heterogeneous
     devices").  Addressing is uniform, so each drive contributes the
     capacity of the {e smallest} drive; each services its requests with
@@ -77,8 +90,9 @@ val access : t -> now:float -> kind:kind -> extents:(int * int) list -> float
 (** [access t ~now ~kind ~extents] is [(service t ...).finished]. *)
 
 val time_of : t -> kind:kind -> extents:(int * int) list -> float
-(** Duration [access] would take on an otherwise idle, just-reset array;
-    convenience for unit tests and analytic checks (no state change). *)
+(** Duration [access] would take on an otherwise idle, just-reset,
+    {e fault-free} array; convenience for unit tests and analytic
+    checks (no state change). *)
 
 (** {1 Dispatch-queue path}
 
@@ -132,7 +146,8 @@ val complete : t -> drive:int -> completion * dispatched option
 (** Retire [drive]'s in-service request — the caller invokes this when
     the request's [d_finished] time arrives — and start the drive's next
     pending request per the scheduler, if any.  Raises
-    [Invalid_argument] if the drive has nothing in service. *)
+    [Invalid_argument] naming the drive and its queue depth if the drive
+    has nothing in service. *)
 
 val pending : t -> drive:int -> int
 (** Requests on [drive]'s dispatch queue, including the one in
@@ -142,6 +157,57 @@ val in_service_finish : t -> drive:int -> float option
 (** Completion time of [drive]'s in-service request, if one is moving —
     what a caller that lost its completion events (e.g. across an
     experiment phase change) must re-post. *)
+
+(** {1 Drive failure, repair and online rebuild}
+
+    Failures take effect at mapping time: operations mapped after
+    {!fail_drive} route around the dead arm (or raise
+    {!Rofs_fault.State.Data_loss} when the layout cannot cover the
+    loss), while requests already queued or in service on that drive
+    drain normally — the model's granularity is the logical operation,
+    not the platter.  Degraded service pays real I/O: a mirrored read
+    fails over to the surviving arm, a RAID-5 / parity-striped read of a
+    dead unit reconstructs it from the row's surviving units (each read
+    paying its own positioning and transfer), a degraded write skips the
+    dead arm and logs the dirty region.  After {!repair_drive}, a
+    redundant layout resynchronises the drive with a background sweep
+    driven by {!rebuild_step}. *)
+
+val fail_drive : t -> drive:int -> unit
+(** Mark a drive failed.  Newly mapped operations no longer use it. *)
+
+val repair_drive : t -> drive:int -> unit
+(** Return a failed drive to service: redundant layouts enter the
+    rebuild sweep (serve {!rebuild_step} until it reports done);
+    [Striped] arrays — nothing to reconstruct from — return straight to
+    healthy.  No-op unless the drive is failed. *)
+
+val drive_state : t -> drive:int -> [ `Healthy | `Failed | `Rebuilding of float ]
+(** Current health; [`Rebuilding f] carries the fraction of the drive
+    already resynchronised. *)
+
+val fault_state : t -> Rofs_fault.State.t
+(** The array's fault state: per-drive status, media-error counters,
+    dirty-region log.  Read-mostly for reporting; transitions go through
+    {!fail_drive} / {!repair_drive}. *)
+
+type rebuild_step =
+  | Rebuild_idle  (** the drive is not rebuilding *)
+  | Rebuild_blocked  (** a reconstruction source is unavailable; retry later *)
+  | Rebuild_done  (** sweep complete; the drive is healthy again *)
+  | Rebuild_sync of float  (** synchronous path: the rebuild I/O's completion time *)
+  | Rebuild_queued of op * dispatched list
+      (** queued path: the rebuild I/O went through the dispatch queues *)
+
+val rebuild_step : t -> now:float -> queued:bool -> drive:int -> rebuild_step
+(** Issue the next background rebuild I/O for [drive]: read the next
+    [rebuild_chunk_bytes] region from every surviving redundancy-group
+    member (the mirror partner, or all other drives for RAID-5 / parity
+    striping) and write the reconstruction to [drive].  All of it is
+    redundancy traffic — it never counts as data throughput, but it
+    competes with foreground work for the arms.  [queued] selects the
+    dispatch-queue path ({!submit}-style) over the synchronous one; the
+    caller paces successive calls ([rebuild_rate_bytes_per_ms]). *)
 
 val utilization : t -> now:float -> float
 (** Fraction of elapsed time the drives spent busy, averaged over

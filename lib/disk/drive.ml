@@ -81,6 +81,14 @@ let access t ~now ~rng ~offset ~bytes =
   end;
   finish
 
+let stall t ~ms =
+  if ms < 0. then invalid_arg "Drive.stall: negative duration";
+  if ms > 0. then begin
+    t.busy_until <- t.busy_until +. ms;
+    t.busy_ms <- t.busy_ms +. ms
+  end;
+  t.busy_until
+
 let serve t ~start ~rng ~offset ~bytes ~passes =
   if passes < 1 then invalid_arg "Drive.serve: passes < 1";
   if t.busy_until > start then invalid_arg "Drive.serve: drive still busy";

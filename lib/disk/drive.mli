@@ -36,6 +36,11 @@ val access : t -> now:float -> rng:Rofs_util.Rng.t -> offset:int -> bytes:int ->
     and statistics.  Requires [bytes >= 0] and the transfer to lie within
     the drive. *)
 
+val stall : t -> ms:float -> float
+(** Extend the drive's current busy period by [ms] (media-error retries,
+    sector-remap relocation) and return the new [busy_until].  Counts as
+    busy time in the statistics; requires [ms >= 0]. *)
+
 val serve : t -> start:float -> rng:Rofs_util.Rng.t -> offset:int -> bytes:int -> passes:int -> float
 (** Dispatch-queue variant of {!access}: perform the transfer [passes]
     times back to back (2 for a read-modify-write), beginning exactly at

@@ -3,6 +3,8 @@ module Dist = Rofs_util.Dist
 module Heap = Rofs_util.Heap
 module Stats = Rofs_util.Stats
 module Sched_policy = Rofs_sched.Policy
+module Fault_plan = Rofs_fault.Plan
+module Fault = Rofs_fault.State
 module Array_model = Rofs_disk.Array_model
 module File_type = Rofs_workload.File_type
 module Workload = Rofs_workload.Workload
@@ -23,6 +25,7 @@ type config = {
   readahead_factor : int;
   warmup_checkpoints : int;
   metadata_io : bool;
+  faults : Fault_plan.config;
 }
 
 let default_config =
@@ -42,7 +45,27 @@ let default_config =
     readahead_factor = 4;
     warmup_checkpoints = 5;
     metadata_io = false;
+    faults = Fault_plan.none;
   }
+
+let validate_config cfg =
+  let fail msg = invalid_arg ("Engine.config: " ^ msg) in
+  if cfg.disks <= 0 then fail "disks must be positive";
+  if cfg.stripe_unit_bytes <= 0 then fail "stripe_unit_bytes must be positive";
+  if not (cfg.lower_bound > 0. && cfg.lower_bound <= 1.) then
+    fail "lower_bound must lie in (0, 1]";
+  if not (cfg.upper_bound > 0. && cfg.upper_bound <= 1.) then
+    fail "upper_bound must lie in (0, 1]";
+  if cfg.lower_bound >= cfg.upper_bound then
+    fail "lower_bound must be strictly below upper_bound";
+  if cfg.interval_ms <= 0. then fail "interval_ms must be positive";
+  if cfg.stable_windows <= 0 then fail "stable_windows must be positive";
+  if cfg.tolerance_pct <= 0. then fail "tolerance_pct must be positive";
+  if cfg.max_measure_ms <= 0. then fail "max_measure_ms must be positive";
+  if cfg.max_alloc_ops <= 0 then fail "max_alloc_ops must be positive";
+  if cfg.readahead_factor < 1 then fail "readahead_factor must be >= 1";
+  if cfg.warmup_checkpoints < 0 then fail "warmup_checkpoints must be >= 0";
+  Fault_plan.validate cfg.faults
 
 type alloc_report = {
   internal_frag : float;
@@ -65,6 +88,19 @@ type throughput_report = {
   meta_bytes : int;
 }
 
+type fault_report = {
+  drive_states : [ `Healthy | `Failed | `Rebuilding of float ] array;
+  data_loss : int;
+  media_errors : int;
+  retries : int;
+  remaps : int;
+  remap_hits : int;
+  reconstructed_reads : int;
+  degraded_writes : int;
+  dirty_bytes : int;
+  rebuild_ios : int;
+}
+
 type user = {
   type_idx : int;
   ft : File_type.t;
@@ -84,10 +120,17 @@ type mode =
   | Full_mix  (** the application-performance test *)
   | Whole_file_rw  (** the sequential-performance test *)
 
-(* The event heap holds two event kinds: a user whose think time expired
-   (perform its next operation), and — on the dispatch-queue path only —
-   a drive whose in-service request finishes at the event's time. *)
-type event = Wake of user | Drive_done of int
+(* The event heap holds four event kinds: a user whose think time
+   expired (perform its next operation); on the dispatch-queue path, a
+   drive whose in-service request finishes at the event's time; the next
+   scripted or drawn drive fail/repair from the fault plan; and the next
+   background rebuild I/O of a resynchronising drive. *)
+type event = Wake of user | Drive_done of int | Fault_tick | Rebuild_tick of int
+
+(* What a queued-path operation completion unblocks: a user's think
+   time, or the next chunk of a drive's rebuild sweep (not before
+   [next_ok], the pacing limit). *)
+type waiter = User_waiter of user | Rebuild_waiter of { drive : int; next_ok : float }
 
 type t = {
   cfg : config;
@@ -98,8 +141,15 @@ type t = {
   rng : Rng.t;
   heap : event Heap.t;
   users : user array;
-  waiters : (int, user) Hashtbl.t;
-      (** queued path: op id -> the user blocked on that operation *)
+  waiters : (int, waiter) Hashtbl.t;
+      (** queued path: op id -> whoever is blocked on that operation *)
+  fault_plan : Fault_plan.t option;  (** drive fail/repair generator, if any *)
+  mutable pending_fault : (float * Fault_plan.action) option;
+      (** the popped-but-unapplied next fault event; its [Fault_tick]
+          sits in the heap (re-posted after heap clears) *)
+  rebuild_live : bool array;
+      (** drive -> a rebuild continuation (heap tick or waiter) is
+          outstanding; guards against duplicate tick chains *)
   mutable in_flight : (float * float * int) list;
       (** (issue, completion, bytes) of I/Os not yet fully credited *)
   mutable now : float;
@@ -108,6 +158,8 @@ type t = {
   mutable alloc_ops : int;
   mutable bytes_completed : int;
   mutable meta_bytes : int;
+  mutable rebuild_ios : int;
+  mutable data_loss : int;
 }
 
 (* The FCFS policy keeps the seed's synchronous fast path: completion
@@ -192,12 +244,32 @@ let seed_events t =
       | Some finish -> Heap.push t.heap ~prio:finish (Drive_done d)
       | None -> ()
     done
-  end
+  end;
+  (* The clear also dropped the fault tick and any rebuild ticks (and the
+     waiter reset dropped rebuild continuations): re-post the pending
+     fault event and re-kick the sweep of every drive still
+     resynchronising. *)
+  (match t.pending_fault with
+  | Some (at, _) -> Heap.push t.heap ~prio:(Float.max at t.now) Fault_tick
+  | None -> ());
+  Array.iteri
+    (fun d _ ->
+      let live =
+        match Array_model.drive_state t.array ~drive:d with
+        | `Rebuilding _ ->
+            Heap.push t.heap ~prio:t.now (Rebuild_tick d);
+            true
+        | `Healthy | `Failed -> false
+      in
+      t.rebuild_live.(d) <- live)
+    t.rebuild_live
 
 let create cfg ~policy ~workload =
+  validate_config cfg;
   Workload.validate workload;
   let array =
-    Array_model.create ~seed:cfg.seed ~scheduler:cfg.scheduler ~disks:cfg.disks
+    Array_model.create ~seed:cfg.seed ~scheduler:cfg.scheduler ~faults:cfg.faults
+      ~disks:cfg.disks
       (cfg.array_config cfg.stripe_unit_bytes)
   in
   let policy_bytes = policy.Rofs_alloc.Policy.total_units * policy.Rofs_alloc.Policy.unit_bytes in
@@ -233,6 +305,12 @@ let create cfg ~policy ~workload =
       heap = Heap.create ();
       users;
       waiters = Hashtbl.create 64;
+      fault_plan =
+        (if Fault_plan.drive_faults cfg.faults then
+           Some (Fault_plan.create cfg.faults ~drives:cfg.disks)
+         else None);
+      pending_fault = None;
+      rebuild_live = Array.make cfg.disks false;
       in_flight = [];
       now = 0.;
       disk_fulls = 0;
@@ -240,8 +318,11 @@ let create cfg ~policy ~workload =
       alloc_ops = 0;
       bytes_completed = 0;
       meta_bytes = 0;
+      rebuild_ios = 0;
+      data_loss = 0;
     }
   in
+  (match t.fault_plan with Some plan -> t.pending_fault <- Fault_plan.pop plan | None -> ());
   populate t;
   seed_events t;
   t
@@ -286,8 +367,11 @@ let post_dispatched t ~credit ds =
     ds
 
 (* Issue the physical transfer for a logical byte range; bytes are
-   credited to the throughput accounting per service window. *)
-let do_io t ~kind ~file ~off ~len =
+   credited to the throughput accounting per service window.  An
+   operation that needs data no surviving drive can provide is counted
+   as lost and completes immediately — the simulated application gets an
+   I/O error, not the simulator. *)
+let do_io_raw t ~kind ~file ~off ~len =
   let extents = Volume.slice_bytes t.volume ~file ~off ~len in
   if extents = [] then Done t.now
   else if not (queued t) then begin
@@ -305,6 +389,12 @@ let do_io t ~kind ~file ~off ~len =
     if Array_model.op_done op then Done (Array_model.op_service op).Array_model.finished
     else Wait op
   end
+
+let do_io t ~kind ~file ~off ~len =
+  try do_io_raw t ~kind ~file ~off ~len
+  with Fault.Data_loss _ ->
+    t.data_loss <- t.data_loss + 1;
+    Done t.now
 
 let do_read_write t user ~kind ~whole =
   match pick_file t user with
@@ -380,12 +470,16 @@ let charge_metadata t ~file ~new_extents =
        data throughput, but it still occupies the drives: the queued
        path routes it through the dispatch queues like everything
        else. *)
-    if not (queued t) then
-      ignore (Array_model.access t.array ~now:t.now ~kind:Array_model.Write ~extents : float)
-    else begin
-      let _op, started = Array_model.submit t.array ~now:t.now ~kind:Array_model.Write ~extents in
-      post_dispatched t ~credit:false started
-    end;
+    (try
+       if not (queued t) then
+         ignore (Array_model.access t.array ~now:t.now ~kind:Array_model.Write ~extents : float)
+       else begin
+         let _op, started =
+           Array_model.submit t.array ~now:t.now ~kind:Array_model.Write ~extents
+         in
+         post_dispatched t ~credit:false started
+       end
+     with Fault.Data_loss _ -> t.data_loss <- t.data_loss + 1);
     t.meta_bytes <- t.meta_bytes + (meta_units * unit)
   end
 
@@ -473,6 +567,37 @@ let perform t ~mode user =
     end
 
 (* ------------------------------------------------------------------ *)
+(* Fault and rebuild events                                            *)
+
+(* Pacing gap between successive rebuild I/Os; [0.] rebuilds flat-out
+   (the next chunk issues at the previous one's completion). *)
+let rebuild_gap_ms t =
+  let c = t.cfg.faults in
+  if c.Fault_plan.rebuild_rate_bytes_per_ms > 0. then
+    float_of_int c.Fault_plan.rebuild_chunk_bytes /. c.Fault_plan.rebuild_rate_bytes_per_ms
+  else 0.
+
+(* Retry interval when a rebuild is blocked on a failed source drive. *)
+let rebuild_retry_ms = 1_000.
+
+(* Start a drive's rebuild tick chain unless one is already running
+   (a heap tick or a queued-path continuation in [waiters]). *)
+let kick_rebuild t ~drive ~at =
+  if not t.rebuild_live.(drive) then begin
+    t.rebuild_live.(drive) <- true;
+    Heap.push t.heap ~prio:at (Rebuild_tick drive)
+  end
+
+let apply_fault t = function
+  | Fault_plan.Fail d -> Array_model.fail_drive t.array ~drive:d
+  | Fault_plan.Repair d -> begin
+      Array_model.repair_drive t.array ~drive:d;
+      match Array_model.drive_state t.array ~drive:d with
+      | `Rebuilding _ -> kick_rebuild t ~drive:d ~at:t.now
+      | `Healthy | `Failed -> ()
+    end
+
+(* ------------------------------------------------------------------ *)
 (* Event loop                                                          *)
 
 (* [stop ~failed] is consulted after every event.  A [Wake] performs the
@@ -497,7 +622,7 @@ let run_events t ~mode ~stop =
         let outcome, failed = perform t ~mode user in
         (match outcome with
         | Done completion -> wake_after t user ~completion
-        | Wait op -> Hashtbl.replace t.waiters (Array_model.op_id op) user);
+        | Wait op -> Hashtbl.replace t.waiters (Array_model.op_id op) (User_waiter user));
         if not (stop ~failed) then loop ()
     | Some (time, Drive_done d) ->
         t.now <- Float.max t.now time;
@@ -505,21 +630,63 @@ let run_events t ~mode ~stop =
         (match next with
         | Some disp ->
             (* Credit the newly dispatched request only if its operation
-               still counts: metadata write-back and operations orphaned
-               by a test-phase change have no waiter. *)
+               still counts: metadata write-back, rebuild traffic and
+               operations orphaned by a test-phase change carry no user
+               waiter (rebuild chunks are parity and never credit). *)
             post_dispatched t
               ~credit:(Hashtbl.mem t.waiters disp.Array_model.d_op_id)
               [ disp ]
         | None -> ());
         (if completion.Array_model.c_op_done then begin
            let id = Array_model.op_id completion.Array_model.c_op in
+           let finished =
+             (Array_model.op_service completion.Array_model.c_op).Array_model.finished
+           in
            match Hashtbl.find_opt t.waiters id with
-           | Some user ->
+           | Some (User_waiter user) ->
                Hashtbl.remove t.waiters id;
-               wake_after t user
-                 ~completion:(Array_model.op_service completion.Array_model.c_op).Array_model.finished
+               wake_after t user ~completion:finished
+           | Some (Rebuild_waiter { drive; next_ok }) ->
+               Hashtbl.remove t.waiters id;
+               Heap.push t.heap ~prio:(Float.max finished next_ok) (Rebuild_tick drive)
            | None -> ()
          end);
+        if not (stop ~failed:false) then loop ()
+    | Some (time, Fault_tick) ->
+        t.now <- Float.max t.now time;
+        (match t.pending_fault with
+        | None -> ()
+        | Some (_, action) ->
+            apply_fault t action;
+            t.pending_fault <-
+              (match t.fault_plan with Some plan -> Fault_plan.pop plan | None -> None);
+            (match t.pending_fault with
+            | Some (at, _) -> Heap.push t.heap ~prio:(Float.max at t.now) Fault_tick
+            | None -> ()));
+        if not (stop ~failed:false) then loop ()
+    | Some (time, Rebuild_tick d) ->
+        t.now <- Float.max t.now time;
+        (match Array_model.rebuild_step t.array ~now:t.now ~queued:(queued t) ~drive:d with
+        | Array_model.Rebuild_idle | Array_model.Rebuild_done -> t.rebuild_live.(d) <- false
+        | Array_model.Rebuild_blocked ->
+            Heap.push t.heap ~prio:(t.now +. rebuild_retry_ms) (Rebuild_tick d)
+        | Array_model.Rebuild_sync finish ->
+            t.rebuild_ios <- t.rebuild_ios + 1;
+            Heap.push t.heap
+              ~prio:(Float.max finish (t.now +. rebuild_gap_ms t))
+              (Rebuild_tick d)
+        | Array_model.Rebuild_queued (op, started) ->
+            t.rebuild_ios <- t.rebuild_ios + 1;
+            post_dispatched t ~credit:false started;
+            if Array_model.op_done op then
+              Heap.push t.heap
+                ~prio:
+                  (Float.max (Array_model.op_service op).Array_model.finished
+                     (t.now +. rebuild_gap_ms t))
+                (Rebuild_tick d)
+            else
+              Hashtbl.replace t.waiters (Array_model.op_id op)
+                (Rebuild_waiter { drive = d; next_ok = t.now +. rebuild_gap_ms t }));
         if not (stop ~failed:false) then loop ()
   in
   loop ()
@@ -629,3 +796,31 @@ let run_application_test t = run_measured t ~mode:Full_mix
 let run_sequential_test t =
   seed_events t;
   run_measured t ~mode:Whole_file_rw
+
+(* ------------------------------------------------------------------ *)
+(* Explicit fault control (benchmarks, tests)                          *)
+
+let fail_drive t ~drive = Array_model.fail_drive t.array ~drive
+
+let repair_drive t ~drive =
+  Array_model.repair_drive t.array ~drive;
+  match Array_model.drive_state t.array ~drive with
+  | `Rebuilding _ -> kick_rebuild t ~drive ~at:t.now
+  | `Healthy | `Failed -> ()
+
+let fault_report t =
+  let st = Array_model.fault_state t.array in
+  let c = Fault.counters st in
+  {
+    drive_states =
+      Array.init (Array_model.disks t.array) (fun d -> Array_model.drive_state t.array ~drive:d);
+    data_loss = t.data_loss;
+    media_errors = c.Fault.media_errors;
+    retries = c.Fault.retries;
+    remaps = c.Fault.remaps;
+    remap_hits = c.Fault.remap_hits;
+    reconstructed_reads = c.Fault.reconstructed_reads;
+    degraded_writes = c.Fault.degraded_writes;
+    dirty_bytes = Fault.dirty_bytes st;
+    rebuild_ios = t.rebuild_ios;
+  }

@@ -66,12 +66,24 @@ type config = {
           introduction criticizes fixed-block systems for "excessive
           amounts of meta data", and this makes that bandwidth visible.
           Off by default: the paper's own evaluation excludes it. *)
+  faults : Rofs_fault.Plan.config;
+      (** fault-injection plan: whole-drive failures and repairs
+          (scripted or exponential MTTF/MTTR), transient media errors
+          with retry / sector-remap, and online-rebuild pacing.  The
+          default {!Rofs_fault.Plan.none} disables everything and keeps
+          the engine byte-identical to one without a fault subsystem. *)
 }
 
 val default_config : config
 (** Paper defaults: 8 disks, 24K (one-track) stripe unit, N=0.90,
     M=0.95, 10-second checkpoints, 3 windows at 0.1, 15-minute simulated
-    cap, 5M-op allocation cap, 4-burst read-ahead. *)
+    cap, 5M-op allocation cap, 4-burst read-ahead, no faults. *)
+
+val validate_config : config -> unit
+(** Raises [Invalid_argument] with a one-line message on the first
+    nonsensical field (bounds out of order or outside (0, 1],
+    non-positive interval / windows / caps, a read-ahead factor below 1,
+    or an invalid fault plan).  {!create} calls this. *)
 
 type alloc_report = {
   internal_frag : float;  (** fraction of allocated space unused *)
@@ -94,6 +106,21 @@ type throughput_report = {
   meta_bytes : int;  (** metadata traffic charged (0 unless [metadata_io]) *)
 }
 
+type fault_report = {
+  drive_states : [ `Healthy | `Failed | `Rebuilding of float ] array;
+      (** per drive; [`Rebuilding f] carries the resynchronised fraction *)
+  data_loss : int;
+      (** operations that needed data no surviving drive could provide *)
+  media_errors : int;  (** chunk requests that suffered a transient error *)
+  retries : int;  (** re-read attempts (one revolution each) *)
+  remaps : int;  (** sectors relocated to the spare region *)
+  remap_hits : int;  (** later accesses touching a remapped sector *)
+  reconstructed_reads : int;  (** degraded reads (failover or reconstruction) *)
+  degraded_writes : int;  (** writes that skipped a dead arm *)
+  dirty_bytes : int;  (** bytes degraded writes could not put on dead drives *)
+  rebuild_ios : int;  (** background rebuild I/Os issued *)
+}
+
 type t
 
 val create : config -> policy:Rofs_alloc.Policy.t -> workload:Rofs_workload.Workload.t -> t
@@ -112,3 +139,17 @@ val run_allocation_test : t -> alloc_report
 val fill_to_lower_bound : t -> unit
 val run_application_test : t -> throughput_report
 val run_sequential_test : t -> throughput_report
+
+val fail_drive : t -> drive:int -> unit
+(** Fail a drive explicitly (benchmarks; the fault plan does this by
+    itself for scripted / exponential failures).  Operations mapped
+    afterwards route around the dead arm or are counted as data loss. *)
+
+val repair_drive : t -> drive:int -> unit
+(** Return a failed drive to service and, on redundant layouts, start
+    the online rebuild: background reconstruction I/Os issued through
+    the normal dispatch path, competing with foreground work, paced by
+    [faults.rebuild_rate_bytes_per_ms]. *)
+
+val fault_report : t -> fault_report
+(** Everything the fault subsystem did so far. *)

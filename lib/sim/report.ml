@@ -14,14 +14,31 @@ let pp_throughput ppf (r : Engine.throughput_report) =
     r.Engine.io_ops
     (if r.Engine.stabilized then "stabilized" else "time-capped")
 
+let pp_fault ppf (r : Engine.fault_report) =
+  let healthy, failed, rebuilding =
+    Array.fold_left
+      (fun (h, f, r) -> function
+        | `Healthy -> (h + 1, f, r)
+        | `Failed -> (h, f + 1, r)
+        | `Rebuilding _ -> (h, f, r + 1))
+      (0, 0, 0) r.Engine.drive_states
+  in
+  Format.fprintf ppf
+    "%d healthy / %d failed / %d rebuilding; %d lost ops, %d media errors (%d retries, %d \
+     remaps), %d degraded reads, %d degraded writes, %d rebuild I/Os"
+    healthy failed rebuilding r.Engine.data_loss r.Engine.media_errors r.Engine.retries
+    r.Engine.remaps r.Engine.reconstructed_reads r.Engine.degraded_writes r.Engine.rebuild_ios
+
 let alloc_to_string r = Format.asprintf "%a" pp_alloc r
 let throughput_to_string r = Format.asprintf "%a" pp_throughput r
+let fault_to_string r = Format.asprintf "%a" pp_fault r
 
-let summary ~workload ~policy ~alloc ~application ~sequential =
+let summary ?faults ~workload ~policy ~alloc ~application ~sequential () =
   let buffer = Buffer.create 128 in
   Buffer.add_string buffer (Printf.sprintf "%s on %s\n" policy workload);
   let line label value = Buffer.add_string buffer (Printf.sprintf "  %-12s %s\n" label value) in
   Option.iter (fun r -> line "allocation" (alloc_to_string r)) alloc;
   Option.iter (fun r -> line "application" (throughput_to_string r)) application;
   Option.iter (fun r -> line "sequential" (throughput_to_string r)) sequential;
+  Option.iter (fun r -> line "faults" (fault_to_string r)) faults;
   Buffer.contents buffer

@@ -13,13 +13,19 @@ val pp_alloc : Format.formatter -> Engine.alloc_report -> unit
 val pp_throughput : Format.formatter -> Engine.throughput_report -> unit
 (** e.g. ["83.4% of max (9.05 MB/s, 1350 I/Os, stabilized)"]. *)
 
+val pp_fault : Format.formatter -> Engine.fault_report -> unit
+(** e.g. ["7 healthy / 1 failed / 0 rebuilding; 0 lost ops, ..."]. *)
+
 val alloc_to_string : Engine.alloc_report -> string
 val throughput_to_string : Engine.throughput_report -> string
+val fault_to_string : Engine.fault_report -> string
 
 val summary :
+  ?faults:Engine.fault_report ->
   workload:string -> policy:string ->
   alloc:Engine.alloc_report option ->
   application:Engine.throughput_report option ->
   sequential:Engine.throughput_report option ->
+  unit ->
   string
 (** Multi-line block with one labelled line per available report. *)

@@ -281,7 +281,7 @@ let test_report_rendering () =
   check_bool "mentions pct" true (Astring_like.contains (C.Report.throughput_to_string tp) "83.4%");
   let s =
     C.Report.summary ~workload:"SC" ~policy:"buddy" ~alloc:(Some alloc) ~application:(Some tp)
-      ~sequential:None
+      ~sequential:None ()
   in
   check_bool "summary has policy line" true (Astring_like.contains s "buddy on SC");
   check_bool "summary has allocation line" true (Astring_like.contains s "allocation");
