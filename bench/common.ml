@@ -60,6 +60,56 @@ let workloads = C.Workload.all
 let csv_dir : string option ref = ref None
 let csv_count = ref 0
 
+(* JSON side-channel: when [json_out] is set (bench --out <file>), every
+   emitted table is also captured as a typed cell — bench id, title,
+   columns and rows, with numeric-looking cells coerced to numbers — and
+   the whole run is written as one document at exit. *)
+let json_out : string option ref = ref None
+let current_bench = ref ""
+let json_cells : C.Obs.Json.t list ref = ref [] (* newest first *)
+
+(* "16.3%" and "4.2" become numbers (percent sign stripped); anything
+   else stays a string. *)
+let cell_json s =
+  let trimmed = String.trim s in
+  let numeric =
+    let n = String.length trimmed in
+    if n > 1 && trimmed.[n - 1] = '%' then String.sub trimmed 0 (n - 1) else trimmed
+  in
+  match float_of_string_opt numeric with
+  | Some f when trimmed <> "" -> C.Obs.Json.Float f
+  | _ -> C.Obs.Json.Str s
+
+let capture_json ?title table =
+  match !json_out with
+  | None -> ()
+  | Some _ ->
+      let open C.Obs.Json in
+      json_cells :=
+        Obj
+          [
+            ("bench", Str !current_bench);
+            ("title", match title with Some t -> Str t | None -> Null);
+            ("columns", Arr (List.map (fun c -> Str c) (C.Table.columns table)));
+            ( "rows",
+              Arr
+                (List.map
+                   (fun row -> Arr (List.map cell_json row))
+                   (C.Table.rows table)) );
+          ]
+        :: !json_cells
+
+let write_json_out () =
+  match !json_out with
+  | None -> ()
+  | Some path ->
+      let open C.Obs.Json in
+      let doc = Obj [ ("schema", Str "rofs-bench-v1"); ("cells", Arr (List.rev !json_cells)) ] in
+      let oc = open_out path in
+      to_channel oc doc;
+      output_char oc '\n';
+      close_out oc
+
 let slugify title =
   String.map
     (fun c ->
@@ -70,6 +120,7 @@ let slugify title =
 
 let emit ?title table =
   C.Table.print ?title table;
+  capture_json ?title table;
   match !csv_dir with
   | None -> ()
   | Some dir ->

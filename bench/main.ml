@@ -21,6 +21,7 @@ let benches =
     ("sweep", "fig6 replicated over 10 seeds (mean +- stddev)", Bench_sweep.run);
     ("ablation", "stripe-unit and RAID ablations (Section 6)", Bench_ablation.run);
     ("sched", "per-drive I/O scheduler ablation", Bench_sched.run);
+    ("latency", "latency breakdown by workload and scheduler", Bench_latency.run);
     ("fault", "degradation table under drive failure and rebuild", Bench_fault.run);
     ("extension", "log-structured allocation extension (Section 6)", Bench_extension.run);
     ("micro", "allocator micro-benchmarks (Bechamel)", Bench_micro.run);
@@ -33,6 +34,7 @@ let list_benches () =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (* --csv <dir>: also write every table as CSV into <dir>
+     --out <file>: also write every table as one JSON document
      --jobs <n>: run independent simulation cells on <n> domains
      (default: ROFS_JOBS, or 1 — serial, byte-identical output) *)
   let args =
@@ -40,6 +42,9 @@ let () =
       | "--csv" :: dir :: rest ->
           if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
           Common.csv_dir := Some dir;
+          strip acc rest
+      | "--out" :: file :: rest ->
+          Common.json_out := Some file;
           strip acc rest
       | "--jobs" :: n :: rest ->
           (match int_of_string_opt n with
@@ -53,19 +58,21 @@ let () =
     in
     strip [] args
   in
-  match args with
+  let run_bench (id, _, run) =
+    Common.current_bench := id;
+    Common.timed id run
+  in
+  (match args with
   | [ "--list" ] -> list_benches ()
-  | [] ->
-      List.iter
-        (fun (id, _, run) -> Common.timed id run)
-        benches
+  | [] -> List.iter run_bench benches
   | ids ->
       List.iter
         (fun id ->
           match List.find_opt (fun (name, _, _) -> name = id) benches with
-          | Some (_, _, run) -> Common.timed id run
+          | Some b -> run_bench b
           | None ->
               Printf.eprintf "unknown bench %S\n" id;
               list_benches ();
               exit 2)
-        ids
+        ids);
+  Common.write_json_out ()

@@ -1,0 +1,92 @@
+(* Validate rofs_sim observability output without external tooling.
+
+   Usage: obs_check FILE...
+
+   Each file must parse as JSON.  Documents are further checked by
+   shape: a "traceEvents" member marks a Chrome trace (must be
+   non-empty, with numeric non-decreasing "ts" fields on phase X/i
+   events); a "schema" member marks a report/sweep document (its
+   metrics must expose latency p50/p99); a bare metrics document (a
+   "latency_ms" member) gets the same quantile check.  Exit status is 0
+   iff every file passes. *)
+
+module J = Rofs_obs.Json
+
+let fail = ref false
+
+let problem file msg =
+  Printf.eprintf "obs_check: %s: %s\n" file msg;
+  fail := true
+
+let number = function
+  | Some (J.Int i) -> Some (float_of_int i)
+  | Some (J.Float f) -> Some f
+  | _ -> None
+
+let check_hist file name doc =
+  match J.member name doc with
+  | Some (J.Obj _ as h) ->
+      List.iter
+        (fun q ->
+          match number (J.member q h) with
+          | Some v when v >= 0. -> ()
+          | Some _ -> problem file (Printf.sprintf "%s.%s is negative" name q)
+          | None -> problem file (Printf.sprintf "%s.%s missing or non-numeric" name q))
+        [ "p50"; "p99" ]
+  | _ -> problem file (Printf.sprintf "missing %s histogram" name)
+
+let check_metrics file doc =
+  check_hist file "latency_ms" doc;
+  match J.member "drives" doc with
+  | Some (J.Arr _) -> ()
+  | _ -> problem file "missing drives array"
+
+let check_trace file doc =
+  match J.member "traceEvents" doc with
+  | Some (J.Arr events) ->
+      let timed = ref 0 and last = ref neg_infinity in
+      List.iter
+        (fun ev ->
+          match J.member "ph" ev with
+          | Some (J.Str ("X" | "i")) -> (
+              incr timed;
+              match number (J.member "ts" ev) with
+              | Some ts when ts >= !last -> last := ts
+              | Some _ -> problem file "trace timestamps decrease"
+              | None -> problem file "trace event lacks numeric ts")
+          | _ -> ())
+        events;
+      if !timed = 0 then problem file "trace has no timed events"
+  | _ -> problem file "missing traceEvents array"
+
+let check_file file =
+  match In_channel.with_open_bin file In_channel.input_all with
+  | exception Sys_error e -> problem file e
+  | text -> (
+      match J.parse text with
+      | Error e -> problem file e
+      | Ok doc ->
+          if J.member "traceEvents" doc <> None then check_trace file doc
+          else if J.member "latency_ms" doc <> None then check_metrics file doc
+          else (
+            (match J.member "schema" doc with
+            | Some (J.Str _) -> ()
+            | _ -> problem file "missing schema tag");
+            (match J.member "schema" doc with
+            | Some (J.Str "rofs-bench-v1") -> (
+                match J.member "cells" doc with
+                | Some (J.Arr (_ :: _)) -> ()
+                | _ -> problem file "bench document has no cells")
+            | _ -> (
+                match J.member "metrics" doc with
+                | Some m -> check_metrics file m
+                | None -> problem file "missing metrics object")));
+          if not !fail then Printf.printf "obs_check: %s: ok\n" file)
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then (
+    prerr_endline "usage: obs_check FILE...";
+    exit 2);
+  List.iter check_file files;
+  exit (if !fail then 1 else 0)

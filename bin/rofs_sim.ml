@@ -29,17 +29,57 @@ let build_spec ~policy ~sizes ~grow ~clustered ~fit ~ranges ~block ~workload =
   | "lfs" -> C.Experiment.Log_structured (C.Log_structured.config ())
   | other -> invalid_arg (Printf.sprintf "unknown policy %S" other)
 
+let write_json_file path doc =
+  let oc = open_out path in
+  C.Obs.Json.to_channel oc doc;
+  output_char oc '\n';
+  close_out oc
+
+let write_trace_file path sink =
+  match C.Sink.trace_ref sink with
+  | Some trace -> write_json_file path (C.Obs.Trace.chrome_json trace)
+  | None -> ()
+
+let stats_json stats =
+  let v = function Some x -> x | None -> 0. in
+  C.Obs.Json.Obj
+    [
+      ("mean", C.Obs.Json.Float (C.Stats.mean stats));
+      ("stddev", C.Obs.Json.Float (C.Stats.stddev stats));
+      ("min", C.Obs.Json.Float (v (C.Stats.min_value stats)));
+      ("max", C.Obs.Json.Float (v (C.Stats.max_value stats)));
+      ("n", C.Obs.Json.Int (C.Stats.count stats));
+    ]
+
 (* --seeds sweep mode: replicate the throughput pair across seeds on the
    Domain pool and report mean +- stddev (and the sample range).  The
    per-seed cells are isolated simulations; the per-worker accumulators
    are singleton Stats merged in fixed seed order (Chan et al. via
-   Stats.merge), so the printed summary does not depend on --jobs. *)
-let run_sweep ~config ~jobs ~seeds ~policy spec (workload : C.Workload.t) =
-  Printf.printf "sweep: %d seeds [%s] jobs=%d scheduler=%s\n%!" (List.length seeds)
+   Stats.merge), so the printed summary does not depend on --jobs —
+   and neither do the merged latency histograms (integer bucket counts,
+   fixed fold order). *)
+let run_sweep ~config ~jobs ~seeds ~policy ~json ~metrics_file ~trace_file spec
+    (workload : C.Workload.t) =
+  (* In --json mode stdout carries exactly one JSON document; the human
+     narration moves to stderr. *)
+  let ch = if json then stderr else stdout in
+  if trace_file <> "" then
+    prerr_endline "rofs_sim: --trace is ignored with --seeds (traces do not merge across seeds)";
+  Printf.fprintf ch "sweep: %d seeds [%s] jobs=%d scheduler=%s\n%!" (List.length seeds)
     (String.concat "," (List.map string_of_int seeds))
     jobs
     (C.Sched_policy.name config.C.Engine.scheduler);
-  let pairs = C.Experiment.run_throughput_pairs ~config ~jobs ~seeds spec workload in
+  let instrumented = json || metrics_file <> "" in
+  let pairs, sink =
+    if instrumented then begin
+      let runs = C.Experiment.run_throughput_pairs_obs ~config ~jobs ~seeds spec workload in
+      ( Array.map
+          (fun (r : C.Experiment.obs_run) -> (r.C.Experiment.o_application, r.C.Experiment.o_sequential))
+          runs,
+        Some (C.Experiment.merge_sinks runs) )
+    end
+    else (C.Experiment.run_throughput_pairs ~config ~jobs ~seeds spec workload, None)
+  in
   let merged pick =
     Array.fold_left
       (fun acc pair ->
@@ -50,18 +90,42 @@ let run_sweep ~config ~jobs ~seeds ~policy spec (workload : C.Workload.t) =
   in
   let line label stats =
     let bound v = match v with Some x -> Printf.sprintf "%.1f" x | None -> "-" in
-    Printf.printf "%-12s %6.1f +- %4.1f %% of max   (min %s, max %s, n=%d)\n" label
+    Printf.fprintf ch "%-12s %6.1f +- %4.1f %% of max   (min %s, max %s, n=%d)\n" label
       (C.Stats.mean stats) (C.Stats.stddev stats)
       (bound (C.Stats.min_value stats))
       (bound (C.Stats.max_value stats))
       (C.Stats.count stats)
   in
-  Printf.printf "%s / %s\n" workload.C.Workload.name policy;
-  line "application" (merged (fun ((app : C.Engine.throughput_report), _) -> app.C.Engine.pct_of_max));
-  line "sequential" (merged (fun (_, (seq : C.Engine.throughput_report)) -> seq.C.Engine.pct_of_max))
+  let app_stats =
+    merged (fun ((app : C.Engine.throughput_report), _) -> app.C.Engine.pct_of_max)
+  in
+  let seq_stats =
+    merged (fun (_, (seq : C.Engine.throughput_report)) -> seq.C.Engine.pct_of_max)
+  in
+  Printf.fprintf ch "%s / %s\n" workload.C.Workload.name policy;
+  line "application" app_stats;
+  line "sequential" seq_stats;
+  Option.iter
+    (fun sink ->
+      if metrics_file <> "" then write_json_file metrics_file (C.Sink.to_json sink);
+      if json then
+        print_endline
+          (C.Obs.Json.to_string
+             (C.Obs.Json.Obj
+                [
+                  ("schema", C.Obs.Json.Str "rofs-sweep-v1");
+                  ("policy", C.Obs.Json.Str policy);
+                  ("workload", C.Obs.Json.Str workload.C.Workload.name);
+                  ("seeds", C.Obs.Json.Arr (List.map (fun s -> C.Obs.Json.Int s) seeds));
+                  ("application_pct", stats_json app_stats);
+                  ("sequential_pct", stats_json seq_stats);
+                  ("metrics", C.Sink.to_json sink);
+                ])))
+    sink
 
 let run policy sizes grow unclustered fit ranges block workload_name test seed seeds jobs
-    readahead scheduler layout scale mttf mttr media_error_rate rebuild_rate measure_ms =
+    readahead scheduler layout scale mttf mttr media_error_rate rebuild_rate measure_ms json
+    trace_file metrics_file =
   match C.Workload.by_name workload_name with
   | None ->
       Printf.eprintf "unknown workload %S (expected ts, tp or sc)\n" workload_name;
@@ -103,33 +167,51 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed s
         }
       in
       C.Engine.validate_config config;
-      if seeds <> [] then run_sweep ~config ~jobs ~seeds ~policy spec workload
+      if seeds <> [] then
+        run_sweep ~config ~jobs ~seeds ~policy ~json ~metrics_file ~trace_file spec workload
       else begin
-        Printf.printf "seed=%d scheduler=%s\n%!" seed (C.Sched_policy.name scheduler);
+        let ch = if json then stderr else stdout in
+        let instrumented = json || metrics_file <> "" || trace_file <> "" in
+        let sink =
+          if instrumented then Some (C.Sink.create ~trace:(trace_file <> "") ()) else None
+        in
+        Printf.fprintf ch "seed=%d scheduler=%s\n%!" seed (C.Sched_policy.name scheduler);
         let alloc =
           if test = All || test = Alloc then
             Some (C.Experiment.run_allocation ~config spec workload)
           else None
         in
-        let application, sequential, fault_report =
+        let application, sequential, fault_report, drives =
           if test = All || test = Throughput then begin
             (* Drive the engine directly (same protocol as
-               Experiment.run_throughput) so the fault report of the
-               measured system is available afterwards. *)
+               Experiment.run_throughput) so the fault report and drive
+               reports of the measured system are available afterwards. *)
             let engine = C.Experiment.make_engine ~config spec workload in
+            Option.iter (C.Engine.attach_obs engine) sink;
             C.Engine.fill_to_lower_bound engine;
             let app = C.Engine.run_application_test engine in
             let seq = C.Engine.run_sequential_test engine in
             let faults_seen =
               if C.Fault_plan.enabled faults then Some (C.Engine.fault_report engine) else None
             in
-            (Some app, Some seq, faults_seen)
+            (Some app, Some seq, faults_seen, Some (C.Engine.drive_reports engine))
           end
-          else (None, None, None)
+          else (None, None, None, None)
         in
-        print_string
-          (C.Report.summary ?faults:fault_report ~workload:workload.C.Workload.name ~policy
-             ~alloc ~application ~sequential ())
+        output_string ch
+          (C.Report.summary ?faults:fault_report ?drives ~workload:workload.C.Workload.name
+             ~policy ~alloc ~application ~sequential ());
+        flush ch;
+        Option.iter
+          (fun sink ->
+            if metrics_file <> "" then write_json_file metrics_file (C.Sink.to_json sink);
+            if trace_file <> "" then write_trace_file trace_file sink;
+            if json then
+              print_endline
+                (C.Obs.Json.to_string
+                   (C.Report.to_json ?alloc ?application ?sequential ?faults:fault_report
+                      ?drives ~metrics:sink ~workload:workload.C.Workload.name ~policy ())))
+          sink
       end
 
 let policy_arg =
@@ -264,6 +346,32 @@ let measure_ms_arg =
     & info [ "measure-ms" ]
       ~doc:"Cap on measured simulated time per throughput test, in ms.")
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+      ~doc:
+        "Emit the report as a single JSON document on stdout (the human-readable summary \
+         moves to stderr).  Attaches the instrumentation sink, so the document includes \
+         latency percentiles and per-drive metrics; simulated results are unchanged.")
+
+let trace_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "trace" ] ~docv:"FILE"
+      ~doc:
+        "Write a Chrome trace-event file (loadable in Perfetto or chrome://tracing) of \
+         request arrivals, per-drive service windows, faults and rebuild progress.  The \
+         trace ring is bounded (newest events win).  Ignored with $(b,--seeds).")
+
+let metrics_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "metrics" ] ~docv:"FILE"
+      ~doc:
+        "Write the instrumentation sink (latency/seek/rotation/transfer histograms and \
+         per-drive counters) as a JSON document to $(docv).")
+
 let cmd =
   let doc = "simulate read-optimized file system allocation policies (Seltzer & Stonebraker 1991)" in
   Cmd.v
@@ -272,7 +380,7 @@ let cmd =
       const run $ policy_arg $ sizes_arg $ grow_arg $ unclustered_arg $ fit_arg $ ranges_arg
       $ block_arg $ workload_arg $ test_arg $ seed_arg $ seeds_arg $ jobs_arg $ readahead_arg
       $ scheduler_arg $ layout_arg $ scale_arg $ mttf_arg $ mttr_arg $ media_error_rate_arg
-      $ rebuild_rate_arg $ measure_ms_arg)
+      $ rebuild_rate_arg $ measure_ms_arg $ json_arg $ trace_arg $ metrics_arg)
 
 let usage_hint =
   "usage: rofs_sim [--policy P] [-w ts|tp|sc] [--layout L] [--scheduler S] [--test T] \

@@ -51,6 +51,19 @@ module Pool = Rofs_par.Pool
 module Fault_plan = Rofs_fault.Plan
 module Fault = Rofs_fault.State
 
+(** {1 Observability}
+
+    Pay-for-what-you-use instrumentation: log-bucketed latency
+    histograms with service-time breakdown, per-drive counters, a
+    bounded event trace (JSONL / Chrome trace format) and a small JSON
+    codec for machine-readable reports.  With no sink attached the
+    simulation allocates nothing extra and produces bit-identical
+    results. *)
+
+module Obs = Rofs_obs
+module Hist = Rofs_obs.Hist
+module Sink = Rofs_obs.Sink
+
 (** {1 Disk system} *)
 
 module Geometry = Rofs_disk.Geometry

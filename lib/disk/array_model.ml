@@ -2,6 +2,8 @@ module Sched_policy = Rofs_sched.Policy
 module Squeue = Rofs_sched.Scheduler.Queue
 module Fault_plan = Rofs_fault.Plan
 module Fault = Rofs_fault.State
+module Sink = Rofs_obs.Sink
+module Tr = Rofs_obs.Trace
 
 type config =
   | Striped of { stripe_unit : int }
@@ -11,6 +13,16 @@ type config =
 
 type kind = Read | Write
 
+(* Per-operation service-time decomposition, allocated only when a sink
+   is attached.  All-float record: the fields stay flat, so the
+   accumulating stores in [dispatch] never allocate. *)
+type op_obs = {
+  mutable ob_seek : float;
+  mutable ob_rotation : float;
+  mutable ob_transfer : float;
+  mutable ob_penalty : float;
+}
+
 (* One logical operation submitted through the dispatch-queue path: a
    set of per-drive chunk requests that complete independently. *)
 type op = {
@@ -19,6 +31,8 @@ type op = {
   mutable chunks_left : int;
   mutable began : float;  (** earliest dispatch start; [infinity] until one runs *)
   mutable last_finish : float;
+  mutable o_bytes : int;  (** data (non-redundancy) bytes *)
+  mutable o_obs : op_obs option;
 }
 
 (* One chunk pending on (or in service at) a drive. *)
@@ -46,6 +60,12 @@ type t = {
   mutable next_op_id : int;
   fault : Fault.t;  (** drive health, media-error and dirty-region state *)
   media_on : bool;  (** media faults configured: consult [fault] per chunk *)
+  mutable obs : Sink.t option;  (** instrumentation sink; [None] ⇒ no recording *)
+  ob_scratch : float array;
+      (** sync-path accounting, live only while a sink is attached.
+          Slots 0-3: the current operation's seek / rotation / transfer /
+          fault-penalty totals; slots 4-6: the component totals of the
+          drive being issued to, read before the access. *)
 }
 
 let create_mixed ?(seed = 0) ?(scheduler = Sched_policy.Fcfs) ?(faults = Fault_plan.none)
@@ -82,11 +102,16 @@ let create_mixed ?(seed = 0) ?(scheduler = Sched_policy.Fcfs) ?(faults = Fault_p
     next_op_id = 0;
     fault = Fault.create faults ~drives:disks;
     media_on = Fault_plan.media_faults faults;
+    obs = None;
+    ob_scratch = Array.make 7 0.;
   }
 
 let create ?(geometry = Geometry.cdc_wren_iv) ?seed ?scheduler ?faults ~disks config =
   if disks <= 0 then invalid_arg "Array_model.create: need at least one disk";
   create_mixed ?seed ?scheduler ?faults ~geometries:(List.init disks (fun _ -> geometry)) config
+
+let attach_obs t sink = t.obs <- Some sink
+let obs t = t.obs
 
 let config t = t.config
 let disks t = Array.length t.drives
@@ -346,23 +371,84 @@ let perform_chunks t ~now chunks =
   (* Issue chunks drive by drive in arrival order; each drive's queue
      (its busy clock) serialises them, distinct drives overlap.  [began]
      is the moment the first chunk starts moving — after any queueing
-     behind earlier operations. *)
+     behind earlier operations.
+
+     Instrumentation contract: every recording is guarded on [t.obs],
+     and the guarded reads feed fixed scratch slots, so the un-observed
+     path performs the same work (and the same RNG draws) as before a
+     sink existed — byte-identical results either way. *)
   let finish = ref now in
   let began = ref infinity in
+  (match t.obs with
+  | None -> ()
+  | Some _ ->
+      let s = t.ob_scratch in
+      s.(0) <- 0.;
+      s.(1) <- 0.;
+      s.(2) <- 0.;
+      s.(3) <- 0.);
   let issue c =
-    let start = Float.max now (Drive.busy_until t.drives.(c.disk)) in
+    let drive = t.drives.(c.disk) in
+    let start = Float.max now (Drive.busy_until drive) in
     if start < !began then began := start;
+    (match t.obs with
+    | None -> ()
+    | Some _ ->
+        let s = t.ob_scratch in
+        s.(4) <- Drive.seek_ms_total drive;
+        s.(5) <- Drive.rotation_ms_total drive;
+        s.(6) <- Drive.transfer_ms_total drive);
     let passes = if c.rmw then 2 else 1 in
     let done_at = ref start in
     for _ = 1 to passes do
-      done_at := Drive.access t.drives.(c.disk) ~now ~rng:t.rng ~offset:c.offset ~bytes:c.bytes
+      done_at := Drive.access drive ~now ~rng:t.rng ~offset:c.offset ~bytes:c.bytes
     done;
-    let done_at = media_stall t ~disk:c.disk ~offset:c.offset ~bytes:c.bytes ~default:!done_at in
+    let served = !done_at in
+    let done_at = media_stall t ~disk:c.disk ~offset:c.offset ~bytes:c.bytes ~default:served in
+    (match t.obs with
+    | None -> ()
+    | Some sink ->
+        let s = t.ob_scratch in
+        s.(0) <- s.(0) +. (Drive.seek_ms_total drive -. s.(4));
+        s.(1) <- s.(1) +. (Drive.rotation_ms_total drive -. s.(5));
+        s.(2) <- s.(2) +. (Drive.transfer_ms_total drive -. s.(6));
+        let extra = done_at -. served in
+        if extra > 0. then begin
+          s.(3) <- s.(3) +. extra;
+          Sink.record_fault_penalty sink extra
+        end;
+        let dist = Drive.last_seek_cylinders drive in
+        if dist > 0 then Sink.record_seek sink ~drive:c.disk ~cylinders:dist;
+        if Sink.tracing sink then begin
+          Sink.event sink
+            {
+              Tr.at_ms = start;
+              dur_ms = done_at -. start;
+              kind = Tr.Dispatch;
+              drive = c.disk;
+              op_id = -1;
+              bytes = c.bytes;
+            };
+          if extra > 0. then
+            Sink.event sink
+              {
+                Tr.at_ms = served;
+                dur_ms = extra;
+                kind = Tr.Media;
+                drive = c.disk;
+                op_id = -1;
+                bytes = 0;
+              }
+        end);
     if done_at > !finish then finish := done_at;
     if not c.parity then t.bytes_moved <- t.bytes_moved + c.bytes
   in
   List.iter issue chunks;
   { began = (if !began = infinity then now else !began); finished = !finish }
+
+let last_breakdown t =
+  let s = t.ob_scratch in
+  (s.(0), s.(1), s.(2), s.(3))
 
 let service t ~now ~kind ~extents =
   let chunks = List.concat_map (chunks_of_extent t ~kind) extents in
@@ -390,6 +476,13 @@ type completion = { c_op : op; c_op_done : bool }
 
 let op_id (op : op) = op.op_id
 let op_done (op : op) = op.chunks_left = 0
+let op_submitted (op : op) = op.submitted
+let op_bytes (op : op) = op.o_bytes
+
+let op_breakdown (op : op) =
+  match op.o_obs with
+  | None -> None
+  | Some o -> Some (o.ob_seek, o.ob_rotation, o.ob_transfer, o.ob_penalty)
 
 let op_service (op : op) =
   {
@@ -410,13 +503,59 @@ let dispatch t d ~now =
       | None -> None
       | Some (_cyl, req) ->
           let start = Float.max now (Drive.busy_until drive) in
-          let finish =
+          (match t.obs with
+          | None -> ()
+          | Some _ ->
+              let s = t.ob_scratch in
+              s.(4) <- Drive.seek_ms_total drive;
+              s.(5) <- Drive.rotation_ms_total drive;
+              s.(6) <- Drive.transfer_ms_total drive);
+          let served =
             Drive.serve drive ~start ~rng:t.rng ~offset:req.r_offset ~bytes:req.r_bytes
               ~passes:req.r_passes
           in
           let finish =
-            media_stall t ~disk:d ~offset:req.r_offset ~bytes:req.r_bytes ~default:finish
+            media_stall t ~disk:d ~offset:req.r_offset ~bytes:req.r_bytes ~default:served
           in
+          (match t.obs with
+          | None -> ()
+          | Some sink ->
+              let s = t.ob_scratch in
+              (match req.r_op.o_obs with
+              | None -> ()
+              | Some o ->
+                  o.ob_seek <- o.ob_seek +. (Drive.seek_ms_total drive -. s.(4));
+                  o.ob_rotation <- o.ob_rotation +. (Drive.rotation_ms_total drive -. s.(5));
+                  o.ob_transfer <- o.ob_transfer +. (Drive.transfer_ms_total drive -. s.(6));
+                  let extra = finish -. served in
+                  if extra > 0. then begin
+                    o.ob_penalty <- o.ob_penalty +. extra;
+                    Sink.record_fault_penalty sink extra
+                  end);
+              let dist = Drive.last_seek_cylinders drive in
+              if dist > 0 then Sink.record_seek sink ~drive:d ~cylinders:dist;
+              if Sink.tracing sink then begin
+                Sink.event sink
+                  {
+                    Tr.at_ms = start;
+                    dur_ms = finish -. start;
+                    kind = Tr.Dispatch;
+                    drive = d;
+                    op_id = req.r_op.op_id;
+                    bytes = req.r_bytes;
+                  };
+                let extra = finish -. served in
+                if extra > 0. then
+                  Sink.event sink
+                    {
+                      Tr.at_ms = served;
+                      dur_ms = extra;
+                      kind = Tr.Media;
+                      drive = d;
+                      op_id = req.r_op.op_id;
+                      bytes = 0;
+                    }
+              end);
           req.r_start <- start;
           req.r_finish <- finish;
           if start < req.r_op.began then req.r_op.began <- start;
@@ -443,8 +582,14 @@ let submit_chunks t ~now chunks =
       chunks_left = List.length chunks;
       began = infinity;
       last_finish = now;
+      o_bytes = 0;
+      o_obs = None;
     }
   in
+  (match t.obs with
+  | None -> ()
+  | Some _ ->
+      op.o_obs <- Some { ob_seek = 0.; ob_rotation = 0.; ob_transfer = 0.; ob_penalty = 0. });
   t.next_op_id <- t.next_op_id + 1;
   let touched = ref [] in
   List.iter
@@ -461,10 +606,28 @@ let submit_chunks t ~now chunks =
           r_finish = now;
         }
       in
+      if not c.parity then op.o_bytes <- op.o_bytes + c.bytes;
       Squeue.add t.queues.(c.disk) ~cylinder req;
       if not (List.mem c.disk !touched) then touched := c.disk :: !touched)
     chunks;
-  (op, List.filter_map (fun d -> dispatch t d ~now) (List.rev !touched))
+  let touched = List.rev !touched in
+  (match t.obs with
+  | None -> ()
+  | Some sink ->
+      (* Sample each touched drive's depth at submission, before the
+         idle-drive dispatch below pops the head request. *)
+      List.iter (fun d -> Sink.record_queue_depth sink ~drive:d ~depth:(load t d)) touched;
+      if Sink.tracing sink then
+        Sink.event sink
+          {
+            Tr.at_ms = now;
+            dur_ms = 0.;
+            kind = Tr.Arrival;
+            drive = -1;
+            op_id = op.op_id;
+            bytes = op.o_bytes;
+          });
+  (op, List.filter_map (fun d -> dispatch t d ~now) touched)
 
 let submit t ~now ~kind ~extents =
   submit_chunks t ~now (List.concat_map (chunks_of_extent ~queued:true t ~kind) extents)
@@ -589,6 +752,7 @@ let reset t =
   t.bytes_moved <- 0
 
 let drive_stats t = Array.map Drive.stats t.drives
+let drive_busy_until t ~drive = Drive.busy_until t.drives.(drive)
 
 let pp_config ppf = function
   | Striped { stripe_unit } ->

@@ -121,6 +121,17 @@ val op_service : op -> service
     start to last chunk completion.  An operation with no chunks
     began and finished at its submission time. *)
 
+val op_submitted : op -> float
+(** Time the operation entered the dispatch queues. *)
+
+val op_bytes : op -> int
+(** Data (non-redundancy) bytes the operation moves. *)
+
+val op_breakdown : op -> (float * float * float * float) option
+(** [(seek, rotation, transfer, fault_penalty)] service-time totals of
+    the operation's chunks, in ms.  [None] unless a sink was attached
+    when the operation was submitted. *)
+
 type dispatched = {
   d_drive : int;
   d_op_id : int;
@@ -221,5 +232,30 @@ val reset : t -> unit
 (** Reset every drive's clock, arm and statistics. *)
 
 val drive_stats : t -> Drive.stats array
+
+val drive_busy_until : t -> drive:int -> float
+(** The drive's private busy clock — how far its eagerly-simulated
+    service timeline has advanced.  On the synchronous path this can run
+    past the engine clock (whole operations are served on submission),
+    so it is the honest denominator for a utilization figure. *)
+
+(** {1 Instrumentation}
+
+    Observability is strictly opt-in: with no sink attached (the
+    default) the array performs no recording and no extra allocation,
+    and attaching one never changes simulated results — the frozen
+    goldens in the test suite pin both properties. *)
+
+val attach_obs : t -> Rofs_obs.Sink.t -> unit
+(** Route per-request instrumentation — service-time breakdown,
+    seek-distance and queue-depth samples, fault penalties, and (when
+    the sink traces) chunk-level events — into [sink]. *)
+
+val obs : t -> Rofs_obs.Sink.t option
+
+val last_breakdown : t -> float * float * float * float
+(** [(seek, rotation, transfer, fault_penalty)] totals in ms of the most
+    recent {!service} / {!access} call.  Only meaningful immediately
+    after that call and only while a sink is attached. *)
 
 val pp_config : Format.formatter -> config -> unit

@@ -1,4 +1,12 @@
-type stats = { requests : int; bytes_moved : int; seeks : int; busy_ms : float }
+type stats = {
+  requests : int;
+  bytes_moved : int;
+  seeks : int;
+  busy_ms : float;
+  seek_ms : float;
+  rotation_ms : float;
+  transfer_ms : float;
+}
 
 type t = {
   geometry : Geometry.t;
@@ -9,6 +17,14 @@ type t = {
   mutable bytes_moved : int;
   mutable seeks : int;
   mutable busy_ms : float;
+  (* Busy-time decomposition.  Plain float arrays — stores into an
+     unboxed float array never allocate, so this accounting keeps the
+     uninstrumented path allocation-free.  [comp] accumulates across the
+     drive's lifetime; [scratch] holds the split of the most recent
+     [duration] computation.  Slots: 0 seek, 1 rotation, 2 transfer. *)
+  comp : float array;
+  scratch : float array;
+  mutable last_distance : int;  (** cylinders moved by the last reposition; 0 otherwise *)
 }
 
 let create geometry =
@@ -21,6 +37,9 @@ let create geometry =
     bytes_moved = 0;
     seeks = 0;
     busy_ms = 0.;
+    comp = Array.make 3 0.;
+    scratch = Array.make 3 0.;
+    last_distance = 0;
   }
 
 let geometry t = t.geometry
@@ -33,6 +52,10 @@ let next_sequential t = t.next_sequential
 let duration t ~rng ~offset ~bytes =
   let g = t.geometry in
   assert (bytes >= 0 && offset >= 0 && offset + bytes <= Geometry.capacity_bytes g);
+  t.scratch.(0) <- 0.;
+  t.scratch.(1) <- 0.;
+  t.scratch.(2) <- 0.;
+  t.last_distance <- 0;
   if bytes = 0 then (0., false)
   else begin
     let first_cyl = Geometry.cylinder_of_offset g offset in
@@ -51,16 +74,25 @@ let duration t ~rng ~offset ~bytes =
        raw media rate. *)
     let position_cost, crossings, repositioned =
       if gap = 0 then (0., last_cyl - t.head_cylinder, false)
-      else if gap > 0 && gap < Geometry.cylinder_bytes g then
-        (Geometry.transfer_ms g ~bytes:gap, last_cyl - t.head_cylinder, false)
+      else if gap > 0 && gap < Geometry.cylinder_bytes g then begin
+        let rotate_over_gap = Geometry.transfer_ms g ~bytes:gap in
+        t.scratch.(1) <- rotate_over_gap;
+        (rotate_over_gap, last_cyl - t.head_cylinder, false)
+      end
       else begin
         let distance = abs (first_cyl - t.head_cylinder) in
         let latency = Rofs_util.Rng.float rng *. g.Geometry.rotation_ms in
-        (Geometry.seek_ms g ~distance +. latency, last_cyl - first_cyl, true)
+        let arm = Geometry.seek_ms g ~distance in
+        t.scratch.(0) <- arm;
+        t.scratch.(1) <- latency;
+        t.last_distance <- distance;
+        (arm +. latency, last_cyl - first_cyl, true)
       end
     in
     let crossing_cost = float_of_int crossings *. g.Geometry.single_track_seek_ms in
     let transfer = Geometry.transfer_ms g ~bytes in
+    t.scratch.(0) <- t.scratch.(0) +. crossing_cost;
+    t.scratch.(2) <- transfer;
     (position_cost +. crossing_cost +. transfer, repositioned)
   end
 
@@ -77,7 +109,10 @@ let access t ~now ~rng ~offset ~bytes =
     t.requests <- t.requests + 1;
     t.bytes_moved <- t.bytes_moved + bytes;
     if paid_seek then t.seeks <- t.seeks + 1;
-    t.busy_ms <- t.busy_ms +. time
+    t.busy_ms <- t.busy_ms +. time;
+    t.comp.(0) <- t.comp.(0) +. t.scratch.(0);
+    t.comp.(1) <- t.comp.(1) +. t.scratch.(1);
+    t.comp.(2) <- t.comp.(2) +. t.scratch.(2)
   end;
   finish
 
@@ -103,7 +138,20 @@ let serve t ~start ~rng ~offset ~bytes ~passes =
   !finish
 
 let stats t =
-  { requests = t.requests; bytes_moved = t.bytes_moved; seeks = t.seeks; busy_ms = t.busy_ms }
+  {
+    requests = t.requests;
+    bytes_moved = t.bytes_moved;
+    seeks = t.seeks;
+    busy_ms = t.busy_ms;
+    seek_ms = t.comp.(0);
+    rotation_ms = t.comp.(1);
+    transfer_ms = t.comp.(2);
+  }
+
+let seek_ms_total t = t.comp.(0)
+let rotation_ms_total t = t.comp.(1)
+let transfer_ms_total t = t.comp.(2)
+let last_seek_cylinders t = t.last_distance
 
 let reset t =
   t.head_cylinder <- 0;
@@ -112,4 +160,11 @@ let reset t =
   t.requests <- 0;
   t.bytes_moved <- 0;
   t.seeks <- 0;
-  t.busy_ms <- 0.
+  t.busy_ms <- 0.;
+  t.comp.(0) <- 0.;
+  t.comp.(1) <- 0.;
+  t.comp.(2) <- 0.;
+  t.scratch.(0) <- 0.;
+  t.scratch.(1) <- 0.;
+  t.scratch.(2) <- 0.;
+  t.last_distance <- 0

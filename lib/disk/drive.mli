@@ -15,7 +15,13 @@ type stats = {
   bytes_moved : int;
   seeks : int;  (** requests that paid a non-zero arm movement or latency *)
   busy_ms : float;  (** total time spent servicing requests *)
+  seek_ms : float;  (** arm movement: full seeks plus cylinder crossings *)
+  rotation_ms : float;  (** rotational latency plus rotation over skipped gaps *)
+  transfer_ms : float;  (** media transfer time *)
 }
+(** [busy_ms = seek_ms + rotation_ms + transfer_ms + stall time]: the
+    decomposition covers request service; {!stall} charges (media-error
+    retries) count only in [busy_ms]. *)
 
 val create : Geometry.t -> t
 
@@ -54,6 +60,19 @@ val service_time_ms : t -> rng:Rofs_util.Rng.t -> offset:int -> bytes:int -> flo
     (no state change; the latency draw uses [rng]). *)
 
 val stats : t -> stats
+
+(** Cheap component accessors (no record allocation); the observability
+    layer reads these before/after an access to attribute the delta to
+    one request. *)
+
+val seek_ms_total : t -> float
+val rotation_ms_total : t -> float
+val transfer_ms_total : t -> float
+
+val last_seek_cylinders : t -> int
+(** Cylinders the arm moved in the most recent full reposition computed
+    by this drive; [0] if the last access was sequential or a short
+    forward skip.  Only meaningful immediately after an access. *)
 
 val reset : t -> unit
 (** Zero the clock, statistics and sequential-detection state; the arm

@@ -1,0 +1,36 @@
+(** Minimal JSON document: build, print, parse.
+
+    Enough JSON for the observability layer to emit machine-readable
+    summaries, metrics and traces, and for tests / CI to validate them
+    back, without adding a dependency the container may not have.
+    Printing is deterministic: object keys keep insertion order, floats
+    render with ["%.12g"] (non-finite floats render as [null], since
+    JSON has no spelling for them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val to_channel : out_channel -> t -> unit
+
+val parse : string -> (t, string) result
+(** Strict-enough recursive-descent parser for everything {!to_string}
+    emits (and ordinary hand-written JSON): the error string carries a
+    character offset.  Numbers without [.], [e] or [E] parse as [Int]. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing key or non-object. *)
+
+val keys : t -> string list
+(** Object keys in order; [[]] for non-objects. *)
+
+val float_value : t -> float option
+(** The number as a float, accepting both [Int] and [Float]. *)

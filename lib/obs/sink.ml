@@ -1,0 +1,171 @@
+type drive_stats = {
+  seek_dist : Hist.t;
+  mutable qd_sum : int;
+  mutable qd_n : int;
+  mutable qd_max : int;
+}
+
+let fresh_drive () = { seek_dist = Hist.create (); qd_sum = 0; qd_n = 0; qd_max = 0 }
+
+type t = {
+  latency : Hist.t;
+  queue_wait : Hist.t;
+  seek : Hist.t;
+  rotation : Hist.t;
+  transfer : Hist.t;
+  fault_penalty : Hist.t;
+  mutable drives : drive_stats array;
+  trace : Trace.t option;
+}
+
+let create ?(trace = false) ?trace_capacity () =
+  {
+    latency = Hist.create ();
+    queue_wait = Hist.create ();
+    seek = Hist.create ();
+    rotation = Hist.create ();
+    transfer = Hist.create ();
+    fault_penalty = Hist.create ();
+    drives = [||];
+    trace = (if trace then Some (Trace.create ?capacity:trace_capacity ()) else None);
+  }
+
+let record_op t ~latency ~queue_wait ~seek ~rotation ~transfer =
+  Hist.add t.latency latency;
+  Hist.add t.queue_wait queue_wait;
+  Hist.add t.seek seek;
+  Hist.add t.rotation rotation;
+  Hist.add t.transfer transfer
+
+let record_fault_penalty t ms = Hist.add t.fault_penalty ms
+
+let drive t d =
+  let len = Array.length t.drives in
+  if d >= len then begin
+    let grown = Array.make (d + 1) (fresh_drive ()) in
+    Array.blit t.drives 0 grown 0 len;
+    for i = len to d do
+      grown.(i) <- fresh_drive ()
+    done;
+    t.drives <- grown
+  end;
+  t.drives.(d)
+
+let record_seek t ~drive:d ~cylinders =
+  if d >= 0 then Hist.add (drive t d).seek_dist (float_of_int cylinders)
+
+let record_queue_depth t ~drive:d ~depth =
+  if d >= 0 then begin
+    let ds = drive t d in
+    ds.qd_sum <- ds.qd_sum + depth;
+    ds.qd_n <- ds.qd_n + 1;
+    if depth > ds.qd_max then ds.qd_max <- depth
+  end
+
+let tracing t = t.trace <> None
+let event t e = match t.trace with None -> () | Some ring -> Trace.record ring e
+
+let latency t = t.latency
+let queue_wait t = t.queue_wait
+let seek t = t.seek
+let rotation t = t.rotation
+let transfer t = t.transfer
+let fault_penalty t = t.fault_penalty
+let drive_count t = Array.length t.drives
+
+let drive_seek_dist t d =
+  if d >= 0 && d < Array.length t.drives then t.drives.(d).seek_dist else Hist.create ()
+
+let drive_queue_depth t d =
+  if d >= 0 && d < Array.length t.drives && t.drives.(d).qd_n > 0 then begin
+    let ds = t.drives.(d) in
+    (float_of_int ds.qd_sum /. float_of_int ds.qd_n, ds.qd_max)
+  end
+  else (0., 0)
+
+let trace_ref t = t.trace
+
+let merge a b =
+  let drives =
+    let n = max (Array.length a.drives) (Array.length b.drives) in
+    Array.init n (fun i ->
+        let pick arr = if i < Array.length arr then Some arr.(i) else None in
+        match (pick a.drives, pick b.drives) with
+        | Some x, Some y ->
+            {
+              seek_dist = Hist.merge x.seek_dist y.seek_dist;
+              qd_sum = x.qd_sum + y.qd_sum;
+              qd_n = x.qd_n + y.qd_n;
+              qd_max = max x.qd_max y.qd_max;
+            }
+        | Some x, None | None, Some x ->
+            {
+              seek_dist = Hist.copy x.seek_dist;
+              qd_sum = x.qd_sum;
+              qd_n = x.qd_n;
+              qd_max = x.qd_max;
+            }
+        | None, None -> fresh_drive ())
+  in
+  let trace =
+    match (a.trace, b.trace) with
+    | None, None -> None
+    | ta, tb ->
+        let capacity =
+          let cap = function None -> 0 | Some ring -> max (Trace.length ring) 1 in
+          max Trace.(default_capacity) (max (cap ta) (cap tb))
+        in
+        let merged = Trace.create ~capacity () in
+        Option.iter (fun ring -> Trace.merge_into merged ring) ta;
+        Option.iter (fun ring -> Trace.merge_into merged ring) tb;
+        Some merged
+  in
+  {
+    latency = Hist.merge a.latency b.latency;
+    queue_wait = Hist.merge a.queue_wait b.queue_wait;
+    seek = Hist.merge a.seek b.seek;
+    rotation = Hist.merge a.rotation b.rotation;
+    transfer = Hist.merge a.transfer b.transfer;
+    fault_penalty = Hist.merge a.fault_penalty b.fault_penalty;
+    drives;
+    trace;
+  }
+
+let hist_json h =
+  Json.Obj
+    [
+      ("count", Json.Int (Hist.count h));
+      ("mean", Json.Float (Hist.mean h));
+      ("min", Json.Float (Option.value ~default:0. (Hist.min_value h)));
+      ("max", Json.Float (Option.value ~default:0. (Hist.max_value h)));
+      ("p50", Json.Float (Hist.p50 h));
+      ("p90", Json.Float (Hist.p90 h));
+      ("p99", Json.Float (Hist.p99 h));
+      ("p999", Json.Float (Hist.p999 h));
+    ]
+
+let to_json t =
+  let drives =
+    Array.to_list
+      (Array.mapi
+         (fun i ds ->
+           let mean_qd, max_qd = drive_queue_depth t i in
+           Json.Obj
+             [
+               ("drive", Json.Int i);
+               ("seek_dist_cylinders", hist_json ds.seek_dist);
+               ("queue_depth_mean", Json.Float mean_qd);
+               ("queue_depth_max", Json.Int max_qd);
+             ])
+         t.drives)
+  in
+  Json.Obj
+    [
+      ("latency_ms", hist_json t.latency);
+      ("queue_wait_ms", hist_json t.queue_wait);
+      ("seek_ms", hist_json t.seek);
+      ("rotation_ms", hist_json t.rotation);
+      ("transfer_ms", hist_json t.transfer);
+      ("fault_penalty_ms", hist_json t.fault_penalty);
+      ("drives", Json.Arr drives);
+    ]

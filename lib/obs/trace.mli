@@ -1,0 +1,64 @@
+(** Bounded event-trace sink.
+
+    A ring buffer of typed simulation events (request arrival, chunk
+    dispatch, completion, fault activity, rebuild progress).  When the
+    ring is full the oldest events are dropped — tracing a long run
+    keeps the tail, which is usually the interesting part, and memory
+    stays bounded no matter how long the simulation runs.
+
+    Two serializations:
+    - {!to_jsonl}: one JSON object per line, in timestamp order —
+      greppable, streams well.
+    - {!chrome_json}: Chrome trace-event format ([{"traceEvents":[…]}])
+      loadable in Perfetto / [chrome://tracing].  Chunk-level events
+      with a duration become ["ph":"X"] complete events on one track
+      per drive; operation-level and instantaneous events land on a
+      dedicated track. *)
+
+type kind =
+  | Arrival  (** a logical operation entered the system *)
+  | Dispatch  (** a chunk was picked by the scheduler and started service *)
+  | Completion  (** a chunk (drive >= 0) or whole op (drive = -1) finished *)
+  | Fault_fail  (** a drive was marked failed *)
+  | Fault_repair  (** a drive came back / rebuild finished *)
+  | Rebuild  (** one rebuild chunk was copied *)
+  | Media  (** a transient media error cost a retry *)
+
+val kind_name : kind -> string
+
+type event = {
+  at_ms : float;  (** simulated time the event (or its service) started *)
+  dur_ms : float;  (** service duration; [0.] for instantaneous events *)
+  kind : kind;
+  drive : int;  (** drive index, or [-1] when not drive-specific *)
+  op_id : int;  (** originating operation, or [-1] *)
+  bytes : int;  (** payload size, or [0] *)
+}
+
+type t
+
+val default_capacity : int
+(** 65536 events. *)
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity {!default_capacity}.  [capacity] clamps to [>= 1]. *)
+
+val record : t -> event -> unit
+
+val length : t -> int
+(** Events currently held (<= capacity). *)
+
+val dropped : t -> int
+(** Events evicted because the ring was full. *)
+
+val events : t -> event list
+(** Held events sorted by [at_ms] (ties keep insertion order). *)
+
+val merge_into : t -> t -> unit
+(** [merge_into dst src] records all of [src]'s events into [dst]. *)
+
+val to_jsonl : t -> string
+(** One compact JSON object per event, one per line, timestamp order. *)
+
+val chrome_json : t -> Json.t
+(** The trace as a Chrome trace-event document. *)

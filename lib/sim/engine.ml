@@ -6,6 +6,9 @@ module Sched_policy = Rofs_sched.Policy
 module Fault_plan = Rofs_fault.Plan
 module Fault = Rofs_fault.State
 module Array_model = Rofs_disk.Array_model
+module Drive = Rofs_disk.Drive
+module Sink = Rofs_obs.Sink
+module Trc = Rofs_obs.Trace
 module File_type = Rofs_workload.File_type
 module Workload = Rofs_workload.Workload
 
@@ -160,6 +163,23 @@ type t = {
   mutable meta_bytes : int;
   mutable rebuild_ios : int;
   mutable data_loss : int;
+  mutable obs : Sink.t option;
+      (** instrumentation sink; [None] (the default) means no recording
+          and no extra allocation anywhere in the engine or the array *)
+}
+
+type drive_report = {
+  dr_drive : int;
+  dr_requests : int;
+  dr_bytes : int;
+  dr_seeks : int;
+  dr_busy_ms : float;
+  dr_utilization : float;
+  dr_seek_ms : float;
+  dr_rotation_ms : float;
+  dr_transfer_ms : float;
+  dr_queue_mean : float;
+  dr_queue_max : int;
 }
 
 (* The FCFS policy keeps the seed's synchronous fast path: completion
@@ -176,6 +196,47 @@ let volume t = t.volume
 let array_model t = t.array
 let now_ms t = t.now
 let max_bandwidth_pct_base t = Array_model.max_bandwidth_bytes_per_ms t.array
+
+let attach_obs t sink =
+  t.obs <- Some sink;
+  Array_model.attach_obs t.array sink
+
+let obs t = t.obs
+
+let drive_reports t =
+  Array.mapi
+    (fun i (s : Drive.stats) ->
+      let dr_queue_mean, dr_queue_max =
+        match t.obs with Some sink -> Sink.drive_queue_depth sink i | None -> (0., 0)
+      in
+      {
+        dr_drive = i;
+        dr_requests = s.Drive.requests;
+        dr_bytes = s.Drive.bytes_moved;
+        dr_seeks = s.Drive.seeks;
+        dr_busy_ms = s.Drive.busy_ms;
+        dr_utilization =
+          (* The sync path serves whole operations eagerly, so a drive's
+             busy clock can outrun [t.now]; measure busy time against
+             the drive's own horizon, not the engine clock. *)
+          (let horizon = Float.max t.now (Array_model.drive_busy_until t.array ~drive:i) in
+           if horizon > 0. then s.Drive.busy_ms /. horizon else 0.);
+        dr_seek_ms = s.Drive.seek_ms;
+        dr_rotation_ms = s.Drive.rotation_ms;
+        dr_transfer_ms = s.Drive.transfer_ms;
+        dr_queue_mean;
+        dr_queue_max;
+      })
+    (Array_model.drive_stats t.array)
+
+(* Instantaneous trace mark (fault transitions, rebuild progress). *)
+let mark t ~kind ~drive =
+  match t.obs with
+  | None -> ()
+  | Some sink ->
+      if Sink.tracing sink then
+        Sink.event sink
+          { Trc.at_ms = t.now; dur_ms = 0.; kind; drive; op_id = -1; bytes = 0 }
 
 (* Phase 2 of initialization: create every file at a size drawn uniform
    on (initial mean +- deviation); allocation requests are issued until
@@ -320,6 +381,7 @@ let create cfg ~policy ~workload =
       meta_bytes = 0;
       rebuild_ios = 0;
       data_loss = 0;
+      obs = None;
     }
   in
   (match t.fault_plan with Some plan -> t.pending_fault <- Fault_plan.pop plan | None -> ());
@@ -378,6 +440,34 @@ let do_io_raw t ~kind ~file ~off ~len =
     let physical = List.fold_left (fun acc (_, l) -> acc + l) 0 extents in
     let sv = Array_model.service t.array ~now:t.now ~kind ~extents in
     t.io_ops <- t.io_ops + 1;
+    (match t.obs with
+    | None -> ()
+    | Some sink ->
+        let seek, rotation, transfer, _penalty = Array_model.last_breakdown t.array in
+        Sink.record_op sink
+          ~latency:(sv.Array_model.finished -. t.now)
+          ~queue_wait:(sv.Array_model.began -. t.now)
+          ~seek ~rotation ~transfer;
+        if Sink.tracing sink then begin
+          Sink.event sink
+            {
+              Trc.at_ms = t.now;
+              dur_ms = 0.;
+              kind = Trc.Arrival;
+              drive = -1;
+              op_id = -1;
+              bytes = physical;
+            };
+          Sink.event sink
+            {
+              Trc.at_ms = sv.Array_model.finished;
+              dur_ms = 0.;
+              kind = Trc.Completion;
+              drive = -1;
+              op_id = -1;
+              bytes = physical;
+            }
+        end);
     (* Credit bytes over the service window, not the queue wait. *)
     t.in_flight <- (sv.Array_model.began, sv.Array_model.finished, physical) :: t.in_flight;
     Done sv.Array_model.finished
@@ -589,9 +679,12 @@ let kick_rebuild t ~drive ~at =
   end
 
 let apply_fault t = function
-  | Fault_plan.Fail d -> Array_model.fail_drive t.array ~drive:d
+  | Fault_plan.Fail d ->
+      Array_model.fail_drive t.array ~drive:d;
+      mark t ~kind:Trc.Fault_fail ~drive:d
   | Fault_plan.Repair d -> begin
       Array_model.repair_drive t.array ~drive:d;
+      mark t ~kind:Trc.Fault_repair ~drive:d;
       match Array_model.drive_state t.array ~drive:d with
       | `Rebuilding _ -> kick_rebuild t ~drive:d ~at:t.now
       | `Healthy | `Failed -> ()
@@ -645,6 +738,31 @@ let run_events t ~mode ~stop =
            match Hashtbl.find_opt t.waiters id with
            | Some (User_waiter user) ->
                Hashtbl.remove t.waiters id;
+               (match t.obs with
+               | None -> ()
+               | Some sink ->
+                   let op = completion.Array_model.c_op in
+                   let submitted = Array_model.op_submitted op in
+                   let began = (Array_model.op_service op).Array_model.began in
+                   let seek, rotation, transfer =
+                     match Array_model.op_breakdown op with
+                     | Some (s, r, x, _penalty) -> (s, r, x)
+                     | None -> (0., 0., 0.)
+                   in
+                   Sink.record_op sink
+                     ~latency:(finished -. submitted)
+                     ~queue_wait:(began -. submitted)
+                     ~seek ~rotation ~transfer;
+                   if Sink.tracing sink then
+                     Sink.event sink
+                       {
+                         Trc.at_ms = finished;
+                         dur_ms = 0.;
+                         kind = Trc.Completion;
+                         drive = -1;
+                         op_id = id;
+                         bytes = Array_model.op_bytes op;
+                       });
                wake_after t user ~completion:finished
            | Some (Rebuild_waiter { drive; next_ok }) ->
                Hashtbl.remove t.waiters id;
@@ -672,11 +790,13 @@ let run_events t ~mode ~stop =
             Heap.push t.heap ~prio:(t.now +. rebuild_retry_ms) (Rebuild_tick d)
         | Array_model.Rebuild_sync finish ->
             t.rebuild_ios <- t.rebuild_ios + 1;
+            mark t ~kind:Trc.Rebuild ~drive:d;
             Heap.push t.heap
               ~prio:(Float.max finish (t.now +. rebuild_gap_ms t))
               (Rebuild_tick d)
         | Array_model.Rebuild_queued (op, started) ->
             t.rebuild_ios <- t.rebuild_ios + 1;
+            mark t ~kind:Trc.Rebuild ~drive:d;
             post_dispatched t ~credit:false started;
             if Array_model.op_done op then
               Heap.push t.heap
@@ -800,10 +920,13 @@ let run_sequential_test t =
 (* ------------------------------------------------------------------ *)
 (* Explicit fault control (benchmarks, tests)                          *)
 
-let fail_drive t ~drive = Array_model.fail_drive t.array ~drive
+let fail_drive t ~drive =
+  Array_model.fail_drive t.array ~drive;
+  mark t ~kind:Trc.Fault_fail ~drive
 
 let repair_drive t ~drive =
   Array_model.repair_drive t.array ~drive;
+  mark t ~kind:Trc.Fault_repair ~drive;
   match Array_model.drive_state t.array ~drive with
   | `Rebuilding _ -> kick_rebuild t ~drive ~at:t.now
   | `Healthy | `Failed -> ()

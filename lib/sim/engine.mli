@@ -121,6 +121,24 @@ type fault_report = {
   rebuild_ios : int;  (** background rebuild I/Os issued *)
 }
 
+type drive_report = {
+  dr_drive : int;
+  dr_requests : int;
+  dr_bytes : int;  (** bytes this drive moved (including redundancy traffic) *)
+  dr_seeks : int;
+  dr_busy_ms : float;
+  dr_utilization : float;  (** busy fraction of simulated time so far *)
+  dr_seek_ms : float;
+  dr_rotation_ms : float;
+  dr_transfer_ms : float;
+  dr_queue_mean : float;  (** mean sampled dispatch-queue depth (0 without a sink) *)
+  dr_queue_max : int;  (** max sampled dispatch-queue depth (0 without a sink) *)
+}
+(** Per-drive activity: request/byte counters and the busy-time
+    decomposition come from the drives themselves (always maintained);
+    the queue-depth columns come from the attached sink and read 0 when
+    no sink is attached. *)
+
 type t
 
 val create : config -> policy:Rofs_alloc.Policy.t -> workload:Rofs_workload.Workload.t -> t
@@ -153,3 +171,26 @@ val repair_drive : t -> drive:int -> unit
 
 val fault_report : t -> fault_report
 (** Everything the fault subsystem did so far. *)
+
+(** {1 Instrumentation}
+
+    Pay-for-what-you-use: with no sink attached the engine records
+    nothing and allocates nothing extra, and attaching one never changes
+    simulated results (RNG draws, event order and float arithmetic are
+    untouched — the frozen goldens pin this). *)
+
+val attach_obs : t -> Rofs_obs.Sink.t -> unit
+(** Attach [sink] to the engine and its disk array.  Per-operation
+    latencies (end-to-end, with queue-wait / seek / rotation / transfer
+    breakdown), per-drive seek-distance and queue-depth samples, fault
+    penalties, and — when the sink traces — arrival / dispatch /
+    completion / fault / rebuild events all flow into it.  Attach before
+    running a test; attaching mid-run simply starts recording from that
+    point. *)
+
+val obs : t -> Rofs_obs.Sink.t option
+
+val drive_reports : t -> drive_report array
+(** One report per drive, reflecting activity up to the current
+    simulated time.  Available with or without a sink (queue-depth
+    columns need one). *)

@@ -50,6 +50,22 @@ let run_throughput ?config spec workload =
   let sequential = Engine.run_sequential_test engine in
   (application, sequential)
 
+type obs_run = {
+  o_application : Engine.throughput_report;
+  o_sequential : Engine.throughput_report;
+  o_sink : Rofs_obs.Sink.t;
+  o_drives : Engine.drive_report array;
+}
+
+let run_throughput_obs ?config ?(trace = false) ?trace_capacity spec workload =
+  let engine = make_engine ?config spec workload in
+  let sink = Rofs_obs.Sink.create ~trace ?trace_capacity () in
+  Engine.attach_obs engine sink;
+  Engine.fill_to_lower_bound engine;
+  let o_application = Engine.run_application_test engine in
+  let o_sequential = Engine.run_sequential_test engine in
+  { o_application; o_sequential; o_sink = sink; o_drives = Engine.drive_reports engine }
+
 type summary = { mean : float; stddev : float; runs : int }
 
 let summarize stats =
@@ -77,6 +93,27 @@ let run_throughput_pairs ?(config = Engine.default_config) ?jobs ~seeds spec wor
   Rofs_par.Pool.map ?jobs
     (fun seed -> run_throughput ~config:{ config with Engine.seed } spec workload)
     (Array.of_list seeds)
+
+(* Observability variant of the per-seed sweep: each cell carries its
+   own sink, so instrumentation stays isolated per seed; folding the
+   sinks with [Sink.merge] in seed order (see [merge_sinks]) yields
+   histograms that are bit-identical at every job count — counts are
+   integers and the fold order is fixed. *)
+let run_throughput_pairs_obs ?(config = Engine.default_config) ?jobs ~seeds spec workload =
+  if seeds = [] then invalid_arg "Experiment.run_throughput_pairs_obs: no seeds";
+  Rofs_par.Pool.map ?jobs
+    (fun seed -> run_throughput_obs ~config:{ config with Engine.seed } spec workload)
+    (Array.of_list seeds)
+
+let merge_sinks runs =
+  match Array.length runs with
+  | 0 -> Rofs_obs.Sink.create ()
+  | _ ->
+      let acc = ref runs.(0).o_sink in
+      for i = 1 to Array.length runs - 1 do
+        acc := Rofs_obs.Sink.merge !acc runs.(i).o_sink
+      done;
+      !acc
 
 let run_throughput_seeds ?config ?jobs ~seeds spec workload =
   summarize_pairs (run_throughput_pairs ?config ?jobs ~seeds spec workload)

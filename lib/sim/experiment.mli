@@ -37,6 +37,42 @@ val run_throughput :
   Engine.throughput_report * Engine.throughput_report
 (** Fill to N, then (application report, sequential report). *)
 
+type obs_run = {
+  o_application : Engine.throughput_report;
+  o_sequential : Engine.throughput_report;
+  o_sink : Rofs_obs.Sink.t;  (** latency histograms, per-drive samples, trace *)
+  o_drives : Engine.drive_report array;
+}
+(** One instrumented throughput run. *)
+
+val run_throughput_obs :
+  ?config:Engine.config ->
+  ?trace:bool ->
+  ?trace_capacity:int ->
+  policy_spec ->
+  Rofs_workload.Workload.t ->
+  obs_run
+(** {!run_throughput} with a fresh sink attached before the fill phase.
+    Simulated results are identical to the uninstrumented run — the sink
+    only observes.  [trace] (default false) additionally captures the
+    bounded event trace. *)
+
+val run_throughput_pairs_obs :
+  ?config:Engine.config ->
+  ?jobs:int ->
+  seeds:int list ->
+  policy_spec ->
+  Rofs_workload.Workload.t ->
+  obs_run array
+(** Instrumented {!run_throughput_pairs}: one isolated sink per seed, in
+    seed order.  Tracing stays off — a merged multi-seed trace would
+    interleave unrelated timelines. *)
+
+val merge_sinks : obs_run array -> Rofs_obs.Sink.t
+(** Fold the runs' sinks with [Sink.merge] in array (= seed) order.
+    Bucket counts are integers and the fold order is fixed, so the
+    result is bit-identical at every [jobs] count. *)
+
 type summary = { mean : float; stddev : float; runs : int }
 (** Aggregate of one metric over repeated runs. *)
 

@@ -33,7 +33,13 @@ let alloc_to_string r = Format.asprintf "%a" pp_alloc r
 let throughput_to_string r = Format.asprintf "%a" pp_throughput r
 let fault_to_string r = Format.asprintf "%a" pp_fault r
 
-let summary ?faults ~workload ~policy ~alloc ~application ~sequential () =
+let drive_to_string (d : Engine.drive_report) =
+  Printf.sprintf "util %5.1f%%, queue %.1f mean / %d max, %d reqs, %d seeks, %s"
+    (100. *. d.Engine.dr_utilization)
+    d.Engine.dr_queue_mean d.Engine.dr_queue_max d.Engine.dr_requests d.Engine.dr_seeks
+    (Format.asprintf "%a" Rofs_util.Units.pp_bytes d.Engine.dr_bytes)
+
+let summary ?faults ?drives ~workload ~policy ~alloc ~application ~sequential () =
   let buffer = Buffer.create 128 in
   Buffer.add_string buffer (Printf.sprintf "%s on %s\n" policy workload);
   let line label value = Buffer.add_string buffer (Printf.sprintf "  %-12s %s\n" label value) in
@@ -41,4 +47,92 @@ let summary ?faults ~workload ~policy ~alloc ~application ~sequential () =
   Option.iter (fun r -> line "application" (throughput_to_string r)) application;
   Option.iter (fun r -> line "sequential" (throughput_to_string r)) sequential;
   Option.iter (fun r -> line "faults" (fault_to_string r)) faults;
+  Option.iter
+    (fun (ds : Engine.drive_report array) ->
+      Array.iter
+        (fun d -> line (Printf.sprintf "drive %d" d.Engine.dr_drive) (drive_to_string d))
+        ds)
+    drives;
   Buffer.contents buffer
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable output                                             *)
+
+module Json = Rofs_obs.Json
+module Sink = Rofs_obs.Sink
+
+let alloc_json (r : Engine.alloc_report) =
+  Json.Obj
+    [
+      ("internal_frag", Json.Float r.Engine.internal_frag);
+      ("external_frag", Json.Float r.Engine.external_frag);
+      ("alloc_ops", Json.Int r.Engine.alloc_ops);
+      ("utilization_at_end", Json.Float r.Engine.utilization_at_end);
+      ("failed", Json.Bool r.Engine.failed);
+    ]
+
+let throughput_json (r : Engine.throughput_report) =
+  Json.Obj
+    [
+      ("pct_of_max", Json.Float r.Engine.pct_of_max);
+      ("bytes_per_ms", Json.Float r.Engine.bytes_per_ms);
+      ("mb_per_s", Json.Float (mb_per_s r.Engine.bytes_per_ms));
+      ("measured_ms", Json.Float r.Engine.measured_ms);
+      ("checkpoints", Json.Int r.Engine.checkpoints);
+      ("stabilized", Json.Bool r.Engine.stabilized);
+      ("io_ops", Json.Int r.Engine.io_ops);
+      ("disk_fulls", Json.Int r.Engine.disk_fulls);
+      ("utilization", Json.Float r.Engine.utilization);
+      ("mean_extents_per_file", Json.Float r.Engine.mean_extents_per_file);
+      ("meta_bytes", Json.Int r.Engine.meta_bytes);
+    ]
+
+let fault_json (r : Engine.fault_report) =
+  let state = function
+    | `Healthy -> Json.Str "healthy"
+    | `Failed -> Json.Str "failed"
+    | `Rebuilding f -> Json.Obj [ ("rebuilding", Json.Float f) ]
+  in
+  Json.Obj
+    [
+      ("drive_states", Json.Arr (Array.to_list (Array.map state r.Engine.drive_states)));
+      ("data_loss", Json.Int r.Engine.data_loss);
+      ("media_errors", Json.Int r.Engine.media_errors);
+      ("retries", Json.Int r.Engine.retries);
+      ("remaps", Json.Int r.Engine.remaps);
+      ("remap_hits", Json.Int r.Engine.remap_hits);
+      ("reconstructed_reads", Json.Int r.Engine.reconstructed_reads);
+      ("degraded_writes", Json.Int r.Engine.degraded_writes);
+      ("dirty_bytes", Json.Int r.Engine.dirty_bytes);
+      ("rebuild_ios", Json.Int r.Engine.rebuild_ios);
+    ]
+
+let drive_json (d : Engine.drive_report) =
+  Json.Obj
+    [
+      ("drive", Json.Int d.Engine.dr_drive);
+      ("requests", Json.Int d.Engine.dr_requests);
+      ("bytes", Json.Int d.Engine.dr_bytes);
+      ("seeks", Json.Int d.Engine.dr_seeks);
+      ("busy_ms", Json.Float d.Engine.dr_busy_ms);
+      ("utilization", Json.Float d.Engine.dr_utilization);
+      ("seek_ms", Json.Float d.Engine.dr_seek_ms);
+      ("rotation_ms", Json.Float d.Engine.dr_rotation_ms);
+      ("transfer_ms", Json.Float d.Engine.dr_transfer_ms);
+      ("queue_depth_mean", Json.Float d.Engine.dr_queue_mean);
+      ("queue_depth_max", Json.Int d.Engine.dr_queue_max);
+    ]
+
+let to_json ?alloc ?application ?sequential ?faults ?drives ?metrics ~workload ~policy () =
+  let opt name enc v = Option.to_list (Option.map (fun x -> (name, enc x)) v) in
+  Json.Obj
+    ([ ("schema", Json.Str "rofs-report-v1"); ("policy", Json.Str policy);
+       ("workload", Json.Str workload) ]
+    @ opt "allocation" alloc_json alloc
+    @ opt "application" throughput_json application
+    @ opt "sequential" throughput_json sequential
+    @ opt "faults" fault_json faults
+    @ opt "drives"
+        (fun ds -> Json.Arr (Array.to_list (Array.map drive_json ds)))
+        drives
+    @ opt "metrics" Sink.to_json metrics)

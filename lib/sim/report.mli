@@ -20,12 +20,32 @@ val alloc_to_string : Engine.alloc_report -> string
 val throughput_to_string : Engine.throughput_report -> string
 val fault_to_string : Engine.fault_report -> string
 
+val drive_to_string : Engine.drive_report -> string
+(** e.g. ["util  43.2%, queue 1.3 mean / 4 max, 1234 reqs, 87 seeks, 12 M"]. *)
+
 val summary :
   ?faults:Engine.fault_report ->
+  ?drives:Engine.drive_report array ->
   workload:string -> policy:string ->
   alloc:Engine.alloc_report option ->
   application:Engine.throughput_report option ->
   sequential:Engine.throughput_report option ->
   unit ->
   string
-(** Multi-line block with one labelled line per available report. *)
+(** Multi-line block with one labelled line per available report; with
+    [drives], one utilization / queue-depth line per drive. *)
+
+val to_json :
+  ?alloc:Engine.alloc_report ->
+  ?application:Engine.throughput_report ->
+  ?sequential:Engine.throughput_report ->
+  ?faults:Engine.fault_report ->
+  ?drives:Engine.drive_report array ->
+  ?metrics:Rofs_obs.Sink.t ->
+  workload:string -> policy:string ->
+  unit ->
+  Rofs_obs.Json.t
+(** The machine-readable counterpart of {!summary}: a
+    ["rofs-report-v1"] document with one member per supplied report
+    ([allocation] / [application] / [sequential] / [faults] / [drives])
+    plus the sink's latency histograms under [metrics]. *)

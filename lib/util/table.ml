@@ -1,6 +1,8 @@
 type t = { header : string list; mutable rows : string list list (* newest first *) }
 
 let create ~header = { header; rows = [] }
+let columns t = t.header
+let rows t = List.rev t.rows
 
 let add_row t row =
   let width = List.length t.header in

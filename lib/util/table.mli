@@ -12,6 +12,12 @@ val add_row : t -> string list -> unit
 (** Append a row.  Rows shorter than the header are padded with empty
     cells; longer rows raise [Invalid_argument]. *)
 
+val columns : t -> string list
+(** The column headers, in order. *)
+
+val rows : t -> string list list
+(** The rows in insertion order (each padded to the header width). *)
+
 val render : t -> string
 (** The table as a string with a title row, a separator and aligned
     columns (left-aligned first column, right-aligned others). *)

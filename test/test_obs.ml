@@ -1,0 +1,431 @@
+(* Observability layer tests, four layers deep:
+
+   - histogram level: fixed bucket boundaries are monotone and bracket
+     their values, quantiles are ordered and bounded by the recorded
+     extrema, and [Hist.merge] is associative and partition-invariant —
+     including when the partitions are built on a 4-domain pool, which
+     is exactly how multi-seed sweeps merge per-seed sinks;
+   - JSON level: print/parse round-trips, escapes survive, parse
+     errors carry positions;
+   - trace level: the ring drops oldest first, serialized events are
+     time-ordered, and the Chrome document is valid JSON of the shape
+     Perfetto loads;
+   - engine level: a schema golden pins the exact member names of the
+     report document, and an instrumented run reproduces, to the last
+     bit, throughput goldens frozen before lib/obs existed — attaching
+     a sink (even with tracing) changes nothing. *)
+
+module C = Core
+module Hist = C.Hist
+module Sink = C.Sink
+module Json = C.Obs.Json
+module Trace = C.Obs.Trace
+module Policy = C.Sched_policy
+module Engine = C.Engine
+module Experiment = C.Experiment
+module Workload = C.Workload
+module File_type = C.File_type
+module Array_model = C.Array_model
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let check_exact_float name a b = Alcotest.(check (float 0.)) name a b
+
+(* ------------------------------------------------------------------ *)
+(* Histogram buckets and quantiles                                     *)
+(* ------------------------------------------------------------------ *)
+
+let prop_bucket_monotone =
+  QCheck.Test.make ~name:"bucket index and bounds are monotone" ~count:500
+    QCheck.(pair (int_bound 1_000_000_000) (int_bound 1_000_000_000))
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      Hist.index_of lo <= Hist.index_of hi
+      && Hist.bucket_lower (Hist.index_of lo) <= lo
+      &&
+      let i = Hist.index_of hi in
+      i + 1 >= Hist.bucket_count || Hist.bucket_lower (i + 1) > hi)
+
+let prop_quantiles_ordered =
+  QCheck.Test.make ~name:"quantiles are ordered and bounded" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 200) (float_bound_inclusive 1e6))
+    (fun values ->
+      let h = Hist.create () in
+      List.iter (Hist.add h) values;
+      let p50 = Hist.p50 h and p90 = Hist.p90 h and p99 = Hist.p99 h in
+      let p999 = Hist.p999 h in
+      let max_v = match Hist.max_value h with Some m -> m | None -> 0. in
+      p50 <= p90 && p90 <= p99 && p99 <= p999 && p999 <= max_v)
+
+let hists_equal a b =
+  Hist.count a = Hist.count b
+  && Hist.buckets a = Hist.buckets b
+  && Hist.min_value a = Hist.min_value b
+  && Hist.max_value a = Hist.max_value b
+
+let hist_of values =
+  let h = Hist.create () in
+  List.iter (Hist.add h) values;
+  h
+
+let prop_merge_associative =
+  QCheck.Test.make ~name:"merge is associative" ~count:200
+    QCheck.(
+      triple
+        (list (float_bound_inclusive 1e5))
+        (list (float_bound_inclusive 1e5))
+        (list (float_bound_inclusive 1e5)))
+    (fun (xs, ys, zs) ->
+      let a () = hist_of xs and b () = hist_of ys and c () = hist_of zs in
+      let left = Hist.merge (Hist.merge (a ()) (b ())) (c ()) in
+      let right = Hist.merge (a ()) (Hist.merge (b ()) (c ())) in
+      hists_equal left right)
+
+let prop_merge_partition_invariant =
+  QCheck.Test.make ~name:"merge over any partition equals the whole" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 300) (float_bound_inclusive 1e5))
+        (int_range 1 8))
+    (fun (values, parts) ->
+      let chunks = Array.make parts [] in
+      List.iteri (fun i v -> chunks.(i mod parts) <- v :: chunks.(i mod parts)) values;
+      let merged =
+        Array.fold_left (fun acc chunk -> Hist.merge acc (hist_of chunk)) (Hist.create ()) chunks
+      in
+      hists_equal merged (hist_of values))
+
+(* The sweep scenario: per-partition histograms built on a 4-domain
+   pool, folded in partition order.  Must equal the serial whole. *)
+let test_merge_on_pool () =
+  let rng = C.Rng.create ~seed:7 in
+  let values = Array.init 5_000 (fun _ -> 20_000. *. C.Rng.float rng) in
+  let parts = Array.init 8 (fun p ->
+      Array.to_list (Array.sub values (p * 625) 625))
+  in
+  let pooled = C.Pool.map ~jobs:4 hist_of parts in
+  let serial = Array.map hist_of parts in
+  let fold hs = Array.fold_left Hist.merge (Hist.create ()) hs in
+  let merged = fold pooled in
+  (* Same partitions, same fold order: the pool changes nothing, down
+     to the float sums. *)
+  check_exact_float "pooled total is bit-identical to serial" (Hist.total (fold serial))
+    (Hist.total merged);
+  (* And bucket contents match the one-histogram whole exactly (float
+     sums only agree to summation order, so [total] is excluded). *)
+  check_bool "pooled merge equals serial histogram" true
+    (hists_equal merged (hist_of (Array.to_list values)))
+
+let test_hist_basics () =
+  let h = Hist.create () in
+  check_bool "fresh is empty" true (Hist.is_empty h);
+  check_exact_float "empty quantile" 0. (Hist.p99 h);
+  Hist.add h 5.;
+  Hist.add h 5.;
+  Hist.add h 500.;
+  check_int "count" 3 (Hist.count h);
+  check_exact_float "mean" (510. /. 3.) (Hist.mean h);
+  check_bool "min" true (Hist.min_value h = Some 5.);
+  check_bool "max" true (Hist.max_value h = Some 500.);
+  (* Quantiles report the bucket's lower bound: within 1/32 below. *)
+  let p50 = Hist.p50 h in
+  check_bool "p50 hits the dominant bucket" true (p50 <= 5. && p50 >= 5. *. (1. -. (1. /. 32.)));
+  Hist.add h (-3.);
+  check_bool "negative clamps to zero bucket" true (Hist.min_value h = Some 0.)
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) (int_range (-1_000_000) 1_000_000);
+        (* decimal floats round-trip exactly through %.12g *)
+        map (fun i -> Json.Float (float_of_int i /. 64.)) (int_range (-100_000) 100_000);
+        map (fun s -> Json.Str s) (string_size ~gen:printable (int_range 0 20));
+      ]
+  in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n = 0 then scalar
+          else
+            frequency
+              [
+                (2, scalar);
+                (1, map (fun l -> Json.Arr l) (list_size (int_range 0 4) (self (n / 2))));
+                ( 1,
+                  map
+                    (fun l -> Json.Obj l)
+                    (list_size (int_range 0 4)
+                       (pair (string_size ~gen:printable (int_range 0 8)) (self (n / 2)))) );
+              ])
+        (min n 16))
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"print/parse/print is stable" ~count:300
+    (QCheck.make json_gen) (fun doc ->
+      let s = Json.to_string doc in
+      match Json.parse s with
+      | Error e -> QCheck.Test.fail_reportf "parse failed: %s on %s" e s
+      | Ok reparsed -> Json.to_string reparsed = s)
+
+let test_json_parse_basics () =
+  (match Json.parse {| {"a": [1, 2.5, true, null], "b\n": "xé"} |} with
+  | Ok doc ->
+      check_bool "array member" true
+        (Json.member "a" doc = Some (Json.Arr [ Json.Int 1; Json.Float 2.5; Json.Bool true; Json.Null ]));
+      check_bool "escaped key" true (List.mem "b\n" (Json.keys doc))
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (match Json.parse "{\"a\": 1,}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing comma accepted");
+  match Json.parse "[1] trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing input accepted"
+
+let test_json_non_finite () =
+  check_string "nan renders as null" "null" (Json.to_string (Json.Float Float.nan));
+  check_string "inf renders as null" "null" (Json.to_string (Json.Float Float.infinity))
+
+(* ------------------------------------------------------------------ *)
+(* Trace ring                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let ev at kind drive =
+  { Trace.at_ms = at; dur_ms = 0.; kind; drive; op_id = 0; bytes = 0 }
+
+let test_trace_ring_drops_oldest () =
+  let tr = Trace.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Trace.record tr (ev (float_of_int i) Trace.Arrival 0)
+  done;
+  check_int "length capped" 4 (Trace.length tr);
+  check_int "dropped count" 6 (Trace.dropped tr);
+  match Trace.events tr with
+  | [ a; b; c; d ] ->
+      check_exact_float "oldest surviving" 6. a.Trace.at_ms;
+      check_exact_float "then" 7. b.Trace.at_ms;
+      check_exact_float "then" 8. c.Trace.at_ms;
+      check_exact_float "newest" 9. d.Trace.at_ms
+  | l -> Alcotest.failf "expected 4 events, got %d" (List.length l)
+
+let test_trace_events_time_ordered () =
+  let tr = Trace.create ~capacity:16 () in
+  List.iter (fun t -> Trace.record tr (ev t Trace.Completion 1)) [ 5.; 1.; 3.; 2.; 4. ];
+  let times = List.map (fun e -> e.Trace.at_ms) (Trace.events tr) in
+  check_bool "sorted by time" true (times = [ 1.; 2.; 3.; 4.; 5. ])
+
+let test_chrome_json_loads () =
+  let tr = Trace.create ~capacity:16 () in
+  Trace.record tr { Trace.at_ms = 1.; dur_ms = 2.; kind = Trace.Dispatch; drive = 0; op_id = 7; bytes = 512 };
+  Trace.record tr (ev 4. Trace.Fault_fail 1);
+  let doc = Trace.chrome_json tr in
+  match Json.parse (Json.to_string doc) with
+  | Error e -> Alcotest.failf "chrome doc is not valid JSON: %s" e
+  | Ok doc -> (
+      match Json.member "traceEvents" doc with
+      | Some (Json.Arr events) ->
+          let phase e = match Json.member "ph" e with Some (Json.Str p) -> p | _ -> "?" in
+          check_bool "has a complete event" true (List.exists (fun e -> phase e = "X") events);
+          check_bool "has an instant event" true (List.exists (fun e -> phase e = "i") events);
+          check_bool "has thread metadata" true (List.exists (fun e -> phase e = "M") events)
+      | _ -> Alcotest.fail "missing traceEvents")
+
+(* ------------------------------------------------------------------ *)
+(* Sink                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_sink_merge_counts () =
+  let a = Sink.create () and b = Sink.create () in
+  Sink.record_op a ~latency:10. ~queue_wait:1. ~seek:2. ~rotation:3. ~transfer:4.;
+  Sink.record_op b ~latency:20. ~queue_wait:2. ~seek:4. ~rotation:6. ~transfer:8.;
+  Sink.record_op b ~latency:30. ~queue_wait:3. ~seek:6. ~rotation:9. ~transfer:12.;
+  Sink.record_seek a ~drive:0 ~cylinders:100;
+  Sink.record_seek b ~drive:2 ~cylinders:50;
+  let m = Sink.merge a b in
+  check_int "latency samples add" 3 (Hist.count (Sink.latency m));
+  check_exact_float "latency mass adds" 60. (Hist.total (Sink.latency m));
+  check_int "drive axis widens to the larger sink" 3 (Sink.drive_count m);
+  check_int "drive 0 seeks survive" 1 (Hist.count (Sink.drive_seek_dist m 0));
+  check_int "drive 2 seeks survive" 1 (Hist.count (Sink.drive_seek_dist m 2))
+
+(* ------------------------------------------------------------------ *)
+(* Report document schema golden                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Pins the exact member names (and order) of the machine-readable
+   report: rofs_sim --json consumers key on these. *)
+let test_report_json_schema_golden () =
+  let sink = Sink.create () in
+  Sink.record_op sink ~latency:12. ~queue_wait:1. ~seek:4. ~rotation:3. ~transfer:4.;
+  let doc = C.Report.to_json ~workload:"TP" ~policy:"extent" ~metrics:sink () in
+  check_bool "top-level keys" true
+    (Json.keys doc = [ "schema"; "policy"; "workload"; "metrics" ]);
+  check_bool "schema tag" true (Json.member "schema" doc = Some (Json.Str "rofs-report-v1"));
+  (match Json.member "metrics" doc with
+  | Some metrics ->
+      check_bool "metrics keys" true
+        (Json.keys metrics
+        = [
+            "latency_ms";
+            "queue_wait_ms";
+            "seek_ms";
+            "rotation_ms";
+            "transfer_ms";
+            "fault_penalty_ms";
+            "drives";
+          ]);
+      (match Json.member "latency_ms" metrics with
+      | Some h ->
+          check_bool "histogram keys" true
+            (Json.keys h = [ "count"; "mean"; "min"; "max"; "p50"; "p90"; "p99"; "p999" ])
+      | None -> Alcotest.fail "missing latency_ms")
+  | None -> Alcotest.fail "missing metrics");
+  (* The document round-trips through the parser. *)
+  match Json.parse (Json.to_string doc) with
+  | Ok reparsed -> check_string "round trip" (Json.to_string doc) (Json.to_string reparsed)
+  | Error e -> Alcotest.failf "report does not reparse: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Engine goldens: instrumentation is free                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The mini workload and measurement protocol of test_fault's goldens. *)
+let mini_tp =
+  {
+    Workload.name = "MINI-TP";
+    description = "scaled transaction-processing workload";
+    types =
+      [
+        {
+          File_type.name = "relation";
+          count = 20;
+          users = 10;
+          process_time_ms = 20.;
+          hit_freq_ms = 30.;
+          rw_mean_bytes = 16 * 1024;
+          rw_dev_bytes = 0;
+          alloc_hint_bytes = 1024 * 1024;
+          truncate_bytes = 4 * 1024;
+          initial_mean_bytes = 40 * 1024 * 1024;
+          initial_dev_bytes = 8 * 1024 * 1024;
+          read_pct = 60;
+          write_pct = 30;
+          extend_pct = 6;
+          delete_pct_of_deallocs = 0;
+          pattern = File_type.Random_access;
+        };
+      ];
+  }
+
+let buddy = Experiment.Buddy C.Buddy.default_config
+
+let engine_config ~scheduler =
+  {
+    Engine.default_config with
+    lower_bound = 0.50;
+    upper_bound = 0.60;
+    max_measure_ms = 60_000.;
+    warmup_checkpoints = 2;
+    max_alloc_ops = 4_000_000;
+    array_config = (fun stripe_unit -> Array_model.Striped { stripe_unit });
+    scheduler;
+  }
+
+(* Frozen in test_fault.ml before lib/obs existed: striped FCFS (the
+   synchronous fast path) and striped SSTF (the dispatch-queue path).
+   Bit-identical results with a tracing sink attached prove the
+   instrumentation never perturbs the simulation. *)
+let obs_goldens =
+  [
+    (Policy.Fcfs, (12.17699789351555, 1385.382679652462, 60028.651772065787, 6, 4781));
+    (Policy.Sstf, (14.004676518604464, 1593.318521746806, 60004.618860849529, 6, 5498));
+  ]
+
+let test_instrumented_run_matches_goldens () =
+  List.iter
+    (fun (scheduler, (g_pct, g_bpm, g_measured, g_checkpoints, g_ios)) ->
+      let name = Printf.sprintf "striped/%s" (Policy.name scheduler) in
+      let engine = Experiment.make_engine ~config:(engine_config ~scheduler) buddy mini_tp in
+      let sink = Sink.create ~trace:true () in
+      Engine.attach_obs engine sink;
+      Engine.fill_to_lower_bound engine;
+      let app = Engine.run_application_test engine in
+      check_exact_float (name ^ " pct_of_max") g_pct app.Engine.pct_of_max;
+      check_exact_float (name ^ " bytes_per_ms") g_bpm app.Engine.bytes_per_ms;
+      check_exact_float (name ^ " measured_ms") g_measured app.Engine.measured_ms;
+      check_int (name ^ " checkpoints") g_checkpoints app.Engine.checkpoints;
+      check_int (name ^ " io_ops") g_ios app.Engine.io_ops;
+      (* And the sink actually observed the run. *)
+      check_bool (name ^ " latencies recorded") true (Hist.count (Sink.latency sink) > 0);
+      check_bool (name ^ " trace captured") true
+        (match Sink.trace_ref sink with Some tr -> Trace.length tr > 0 | None -> false);
+      let reports = Engine.drive_reports engine in
+      check_int (name ^ " one report per drive")
+        (Array_model.disks (Engine.array_model engine))
+        (Array.length reports);
+      Array.iter
+        (fun (r : Engine.drive_report) ->
+          check_bool (name ^ " utilization sane") true
+            (r.Engine.dr_utilization >= 0. && r.Engine.dr_utilization <= 1.))
+        reports)
+    obs_goldens
+
+(* Multi-seed sweep: the merged sink is bit-identical at every job
+   count (per-seed sinks are isolated; the fold order is the seed
+   order). *)
+let test_sweep_merge_job_invariant () =
+  let config = { (engine_config ~scheduler:Policy.Fcfs) with Engine.max_measure_ms = 10_000. } in
+  let seeds = [ 1; 2; 3 ] in
+  let doc jobs =
+    let runs = Experiment.run_throughput_pairs_obs ~config ~jobs ~seeds buddy mini_tp in
+    Json.to_string (Sink.to_json (Experiment.merge_sinks runs))
+  in
+  check_string "jobs=1 equals jobs=4" (doc 1) (doc 4)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "rofs_obs"
+    [
+      ( "hist",
+        [
+          quick "basics" test_hist_basics;
+          quick "pool-built partitions merge to the whole" test_merge_on_pool;
+          QCheck_alcotest.to_alcotest prop_bucket_monotone;
+          QCheck_alcotest.to_alcotest prop_quantiles_ordered;
+          QCheck_alcotest.to_alcotest prop_merge_associative;
+          QCheck_alcotest.to_alcotest prop_merge_partition_invariant;
+        ] );
+      ( "json",
+        [
+          quick "parse basics" test_json_parse_basics;
+          quick "non-finite floats" test_json_non_finite;
+          QCheck_alcotest.to_alcotest prop_json_roundtrip;
+        ] );
+      ( "trace",
+        [
+          quick "ring drops oldest" test_trace_ring_drops_oldest;
+          quick "events time-ordered" test_trace_events_time_ordered;
+          quick "chrome document loads" test_chrome_json_loads;
+        ] );
+      ( "sink",
+        [
+          quick "merge adds samples" test_sink_merge_counts;
+          quick "report schema golden" test_report_json_schema_golden;
+        ] );
+      ( "engine",
+        [
+          slow "instrumented run matches frozen goldens" test_instrumented_run_matches_goldens;
+          slow "sweep merge is job-count invariant" test_sweep_merge_job_invariant;
+        ] );
+    ]
