@@ -1,0 +1,132 @@
+(* Buffer cache ablation: the paper's simulator (and this
+   reproduction's seed) sends every logical request straight to the
+   array — the only memory in the system is the per-user readahead
+   window.  lib/cache replaces that with a shared block buffer cache;
+   this bench measures what it buys under each workload.
+
+   Three sweeps, all on the selected restricted-buddy configuration:
+   cache size under LRU/write-through (the monotone table), replacement
+   policy at a fixed size, and write-through vs write-back.  Cache = 0
+   rows run with [cache = None] and therefore reproduce the seed's
+   numbers exactly.
+
+   Hit rates are structurally low here: the workload generators pick
+   files uniformly at random over multi-gigabyte populations, with no
+   Zipf skew, so there is little re-reference locality for a cache to
+   exploit.  The wins come from sequential prefetch (SC, the TP logs)
+   and from write-back absorbing small writes. *)
+
+module C = Core
+
+let mb = 1024 * 1024
+
+let cache_config ?policy ?write_mode cache_mb =
+  if cache_mb = 0 then None
+  else Some (C.Cache.config ~mb:cache_mb ?policy ?write_mode ())
+
+let run_cell ?policy ?write_mode cache_mb (w : C.Workload.t) =
+  let config =
+    { !Common.config with C.Engine.cache = cache_config ?policy ?write_mode cache_mb }
+  in
+  let engine = C.Experiment.make_engine ~config Common.rbuddy_selected w in
+  C.Engine.fill_to_lower_bound engine;
+  let app = C.Engine.run_application_test engine in
+  (app, C.Engine.cache_report engine)
+
+let hit_rate = function
+  | None -> "-"
+  | Some (r : C.Engine.cache_report) -> Common.pct r.C.Engine.cr_hit_rate
+
+let int_stat f = function
+  | None -> "-"
+  | Some (r : C.Engine.cache_report) -> string_of_int (f r)
+
+let size_sweep () =
+  let t =
+    C.Table.create
+      ~header:[ "workload"; "cache MB"; "application"; "hit rate"; "prefetched"; "evictions" ]
+  in
+  let sizes = [ 0; 2; 8; 32 ] in
+  let cells = List.concat_map (fun w -> List.map (fun s -> (w, s)) sizes) Common.workloads in
+  let rows =
+    Common.par_map
+      (fun ((w : C.Workload.t), size) ->
+        let app, cr = run_cell size w in
+        [
+          w.C.Workload.name;
+          string_of_int size;
+          Common.pct_points app.C.Engine.pct_of_max;
+          hit_rate cr;
+          int_stat (fun r -> r.C.Engine.cr_prefetched_pages) cr;
+          int_stat (fun r -> r.C.Engine.cr_evictions) cr;
+        ])
+      cells
+  in
+  List.iter (C.Table.add_row t) rows;
+  Common.emit ~title:"Cache size sweep (LRU, write-through): application throughput" t
+
+let policy_sweep () =
+  let t =
+    C.Table.create
+      ~header:[ "policy"; "workload"; "application"; "hit rate"; "evictions" ]
+  in
+  let cells =
+    List.concat_map
+      (fun p -> List.map (fun w -> (p, w)) Common.workloads)
+      C.Cache_policy.all
+  in
+  let rows =
+    Common.par_map
+      (fun (policy, (w : C.Workload.t)) ->
+        let app, cr = run_cell ~policy 8 w in
+        [
+          C.Cache_policy.name policy;
+          w.C.Workload.name;
+          Common.pct_points app.C.Engine.pct_of_max;
+          hit_rate cr;
+          int_stat (fun r -> r.C.Engine.cr_evictions) cr;
+        ])
+      cells
+  in
+  List.iter (C.Table.add_row t) rows;
+  Common.emit ~title:"Replacement policy comparison (8 MB, write-through)" t
+
+let write_mode_sweep () =
+  let t =
+    C.Table.create
+      ~header:[ "write mode"; "workload"; "application"; "hit rate"; "flushes"; "written back" ]
+  in
+  let modes = [ C.Cache.Write_through; C.Cache.Write_back ] in
+  let cells = List.concat_map (fun m -> List.map (fun w -> (m, w)) Common.workloads) modes in
+  let rows =
+    Common.par_map
+      (fun (write_mode, (w : C.Workload.t)) ->
+        let app, cr = run_cell ~write_mode 8 w in
+        [
+          C.Cache.write_mode_name write_mode;
+          w.C.Workload.name;
+          Common.pct_points app.C.Engine.pct_of_max;
+          hit_rate cr;
+          int_stat (fun r -> r.C.Engine.cr_flushes) cr;
+          (match cr with
+          | None -> "-"
+          | Some r -> Printf.sprintf "%.1fM" (float_of_int r.C.Engine.cr_writeback_bytes /. float_of_int mb));
+        ])
+      cells
+  in
+  List.iter (C.Table.add_row t) rows;
+  Common.emit ~title:"Write-through vs write-back (8 MB, LRU)" t
+
+let run () =
+  Common.heading "Ablation: shared buffer cache (restricted buddy, 5 sizes)";
+  size_sweep ();
+  policy_sweep ();
+  write_mode_sweep ();
+  Common.note
+    [
+      "";
+      "Cache = 0 rows are the uncached seed model.  Hit rates are low by";
+      "construction — file choice is uniform over the whole population —";
+      "so gains come from prefetch on sequential runs and from write-back";
+      "absorbing small writes, not from re-reference locality.";
+    ]

@@ -21,6 +21,7 @@ let benches =
     ("sweep", "fig6 replicated over 10 seeds (mean +- stddev)", Bench_sweep.run);
     ("ablation", "stripe-unit and RAID ablations (Section 6)", Bench_ablation.run);
     ("sched", "per-drive I/O scheduler ablation", Bench_sched.run);
+    ("cache", "buffer cache policy and size sweep", Bench_cache.run);
     ("latency", "latency breakdown by workload and scheduler", Bench_latency.run);
     ("fault", "degradation table under drive failure and rebuild", Bench_fault.run);
     ("extension", "log-structured allocation extension (Section 6)", Bench_extension.run);

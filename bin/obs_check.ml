@@ -35,8 +35,33 @@ let check_hist file name doc =
         [ "p50"; "p99" ]
   | _ -> problem file (Printf.sprintf "missing %s histogram" name)
 
+(* A "cache" member (in a report or a metrics document) must carry
+   consistent hit accounting: numeric hits/misses/lookups with
+   hits + misses = lookups, and a hit_rate inside [0, 1]. *)
+let check_cache file doc =
+  match J.member "cache" doc with
+  | None -> ()
+  | Some c ->
+      let count name =
+        match number (J.member name c) with
+        | Some v when v >= 0. -> v
+        | Some _ ->
+            problem file (Printf.sprintf "cache.%s is negative" name);
+            0.
+        | None ->
+            problem file (Printf.sprintf "cache.%s missing or non-numeric" name);
+            0.
+      in
+      let hits = count "hits" and misses = count "misses" and lookups = count "lookups" in
+      if hits +. misses <> lookups then problem file "cache hits + misses <> lookups";
+      (match number (J.member "hit_rate" c) with
+      | Some r when r >= 0. && r <= 1. -> ()
+      | Some _ -> problem file "cache.hit_rate outside [0, 1]"
+      | None -> problem file "cache.hit_rate missing or non-numeric")
+
 let check_metrics file doc =
   check_hist file "latency_ms" doc;
+  check_cache file doc;
   match J.member "drives" doc with
   | Some (J.Arr _) -> ()
   | _ -> problem file "missing drives array"
@@ -78,6 +103,7 @@ let check_file file =
                 | Some (J.Arr (_ :: _)) -> ()
                 | _ -> problem file "bench document has no cells")
             | _ -> (
+                check_cache file doc;
                 match J.member "metrics" doc with
                 | Some m -> check_metrics file m
                 | None -> problem file "missing metrics object")));

@@ -124,8 +124,8 @@ let run_sweep ~config ~jobs ~seeds ~policy ~json ~metrics_file ~trace_file spec
     sink
 
 let run policy sizes grow unclustered fit ranges block workload_name test seed seeds jobs
-    readahead scheduler layout scale mttf mttr media_error_rate rebuild_rate measure_ms json
-    trace_file metrics_file =
+    readahead scheduler layout scale cache_mb cache_policy cache_write mttf mttr
+    media_error_rate rebuild_rate measure_ms json trace_file metrics_file =
   match C.Workload.by_name workload_name with
   | None ->
       Printf.eprintf "unknown workload %S (expected ts, tp or sc)\n" workload_name;
@@ -155,6 +155,12 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed s
         | `Raid5 -> C.Array_model.Raid5 { stripe_unit }
         | `Parity -> C.Array_model.Parity_striped
       in
+      let cache =
+        if cache_mb <= 0 then None
+        else
+          Some
+            (C.Cache.config ~mb:cache_mb ~policy:cache_policy ~write_mode:cache_write ())
+      in
       let config =
         {
           C.Engine.default_config with
@@ -163,6 +169,7 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed s
           scheduler;
           array_config;
           faults;
+          cache;
           max_measure_ms = measure_ms;
         }
       in
@@ -181,7 +188,7 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed s
             Some (C.Experiment.run_allocation ~config spec workload)
           else None
         in
-        let application, sequential, fault_report, drives =
+        let application, sequential, fault_report, cache_report, drives =
           if test = All || test = Throughput then begin
             (* Drive the engine directly (same protocol as
                Experiment.run_throughput) so the fault report and drive
@@ -194,13 +201,17 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed s
             let faults_seen =
               if C.Fault_plan.enabled faults then Some (C.Engine.fault_report engine) else None
             in
-            (Some app, Some seq, faults_seen, Some (C.Engine.drive_reports engine))
+            ( Some app,
+              Some seq,
+              faults_seen,
+              C.Engine.cache_report engine,
+              Some (C.Engine.drive_reports engine) )
           end
-          else (None, None, None, None)
+          else (None, None, None, None, None)
         in
         output_string ch
-          (C.Report.summary ?faults:fault_report ?drives ~workload:workload.C.Workload.name
-             ~policy ~alloc ~application ~sequential ());
+          (C.Report.summary ?faults:fault_report ?cache:cache_report ?drives
+             ~workload:workload.C.Workload.name ~policy ~alloc ~application ~sequential ());
         flush ch;
         Option.iter
           (fun sink ->
@@ -210,7 +221,8 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed s
               print_endline
                 (C.Obs.Json.to_string
                    (C.Report.to_json ?alloc ?application ?sequential ?faults:fault_report
-                      ?drives ~metrics:sink ~workload:workload.C.Workload.name ~policy ())))
+                      ?cache:cache_report ?drives ~metrics:sink
+                      ~workload:workload.C.Workload.name ~policy ())))
           sink
       end
 
@@ -310,6 +322,38 @@ let scale_arg =
         "Scale the workload's file counts by this factor (mirrored arrays halve the data \
          capacity; e.g. $(b,--scale 0.4) makes the standard workloads fit).")
 
+let cache_mb_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "cache-mb" ]
+      ~doc:
+        "Shared block buffer cache size in MiB; 0 (the default) disables the cache and \
+         keeps the engine byte-identical to the uncached simulator.")
+
+let cache_policy_arg =
+  let cache_policy_conv =
+    Arg.conv
+      ( (fun s ->
+          match C.Cache_policy.of_string s with
+          | Some p -> Ok p
+          | None -> Error (`Msg (Printf.sprintf "unknown cache policy %S" s))),
+        C.Cache_policy.pp )
+  in
+  Arg.(
+    value
+    & opt cache_policy_conv C.Cache_policy.Lru
+    & info [ "cache-policy" ] ~doc:"Cache replacement policy: lru | clock | 2q.")
+
+let cache_write_arg =
+  Arg.(
+    value
+    & opt (enum [ ("through", C.Cache.Write_through); ("back", C.Cache.Write_back) ])
+        C.Cache.Write_through
+    & info [ "cache-write" ]
+      ~doc:
+        "Cache write mode: $(b,through) pays every write to disk; $(b,back) absorbs \
+         writes in memory and flushes dirty pages on eviction or a periodic tick.")
+
 let mttf_arg =
   Arg.(
     value
@@ -379,12 +423,14 @@ let cmd =
     Term.(
       const run $ policy_arg $ sizes_arg $ grow_arg $ unclustered_arg $ fit_arg $ ranges_arg
       $ block_arg $ workload_arg $ test_arg $ seed_arg $ seeds_arg $ jobs_arg $ readahead_arg
-      $ scheduler_arg $ layout_arg $ scale_arg $ mttf_arg $ mttr_arg $ media_error_rate_arg
-      $ rebuild_rate_arg $ measure_ms_arg $ json_arg $ trace_arg $ metrics_arg)
+      $ scheduler_arg $ layout_arg $ scale_arg $ cache_mb_arg $ cache_policy_arg
+      $ cache_write_arg $ mttf_arg $ mttr_arg $ media_error_rate_arg $ rebuild_rate_arg
+      $ measure_ms_arg $ json_arg $ trace_arg $ metrics_arg)
 
 let usage_hint =
   "usage: rofs_sim [--policy P] [-w ts|tp|sc] [--layout L] [--scheduler S] [--test T] \
-   [--mttf MS] [--mttr MS] [--media-error-rate P] [--rebuild-rate B] -- see 'rofs_sim --help'"
+   [--cache-mb N] [--cache-policy P] [--cache-write M] [--mttf MS] [--mttr MS] \
+   [--media-error-rate P] [--rebuild-rate B] -- see 'rofs_sim --help'"
 
 (* Exit 2 with a one-line hint on bad input — a config mistake is the
    user's problem, not a crash: no OCaml backtrace, no multi-page

@@ -1,0 +1,372 @@
+type write_mode = Write_through | Write_back
+
+let write_mode_name = function Write_through -> "through" | Write_back -> "back"
+
+type config = {
+  pages : int;
+  page_bytes : int;
+  policy : Policy.t;
+  write_mode : write_mode;
+  flush_interval_ms : float;
+  prefetch_pages : int;
+  prefetch_factor : int;
+}
+
+let default_page_bytes = 8 * 1024
+
+let config ?(page_bytes = default_page_bytes) ?(policy = Policy.Lru)
+    ?(write_mode = Write_through) ?(flush_interval_ms = 1_000.) ?(prefetch_pages = 8)
+    ?(prefetch_factor = 4) ~mb () =
+  {
+    pages = (if page_bytes > 0 then mb * 1024 * 1024 / page_bytes else 0);
+    page_bytes;
+    policy;
+    write_mode;
+    flush_interval_ms;
+    prefetch_pages;
+    prefetch_factor;
+  }
+
+let validate c =
+  let fail msg = invalid_arg ("Cache.config: " ^ msg) in
+  if c.page_bytes <= 0 then fail "page_bytes must be positive";
+  if c.pages <= 0 then fail "capacity must be at least one page";
+  if c.flush_interval_ms <= 0. then fail "flush_interval_ms must be positive";
+  if c.prefetch_pages < 0 then fail "prefetch_pages must be >= 0";
+  if c.prefetch_factor < 1 then fail "prefetch_factor must be >= 1"
+
+type stats = {
+  lookups : int;
+  hits : int;
+  misses : int;
+  hit_bytes : int;
+  insertions : int;
+  evictions : int;
+  dirty_evictions : int;
+  flushes : int;
+  writeback_bytes : int;
+  prefetched_pages : int;
+  invalidations : int;
+}
+
+type t = {
+  cfg : config;
+  repl : Replacement.t;
+  frame_file : int array;  (** -1 = frame free *)
+  frame_page : int array;
+  frame_dirty : bool array;
+  index : (int * int, int) Hashtbl.t;  (** (file, page) -> frame *)
+  resident : (int, int) Hashtbl.t;  (** file -> resident page count *)
+  seq_next : (int, int) Hashtbl.t;  (** file -> page a sequential scan reads next *)
+  mutable unused : int;  (** frames [unused, pages) were never filled *)
+  mutable free : int list;  (** frames freed by invalidation *)
+  mutable dirty : int;
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_hit_bytes : int;
+  mutable s_insertions : int;
+  mutable s_evictions : int;
+  mutable s_dirty_evictions : int;
+  mutable s_flushes : int;
+  mutable s_writeback_bytes : int;
+  mutable s_prefetched : int;
+  mutable s_invalidations : int;
+  type_hits : int array;
+  type_misses : int array;
+}
+
+let create ?(ntypes = 0) cfg =
+  validate cfg;
+  {
+    cfg;
+    repl = Replacement.make cfg.policy ~capacity:cfg.pages;
+    frame_file = Array.make cfg.pages (-1);
+    frame_page = Array.make cfg.pages (-1);
+    frame_dirty = Array.make cfg.pages false;
+    index = Hashtbl.create (min cfg.pages 4096);
+    resident = Hashtbl.create 64;
+    seq_next = Hashtbl.create 64;
+    unused = 0;
+    free = [];
+    dirty = 0;
+    s_hits = 0;
+    s_misses = 0;
+    s_hit_bytes = 0;
+    s_insertions = 0;
+    s_evictions = 0;
+    s_dirty_evictions = 0;
+    s_flushes = 0;
+    s_writeback_bytes = 0;
+    s_prefetched = 0;
+    s_invalidations = 0;
+    type_hits = Array.make (max ntypes 0) 0;
+    type_misses = Array.make (max ntypes 0) 0;
+  }
+
+let write_back t = t.cfg.write_mode = Write_back
+let flush_interval_ms t = t.cfg.flush_interval_ms
+
+type run = { r_file : int; r_off : int; r_len : int }
+
+type outcome = {
+  o_fetch : (int * int) option;
+  o_writebacks : run list;
+  o_hit_bytes : int;
+  o_page_hits : int;
+  o_page_misses : int;
+  o_prefetched : int;
+  o_evictions : int;
+}
+
+let incr_resident t file =
+  Hashtbl.replace t.resident file
+    (match Hashtbl.find_opt t.resident file with Some n -> n + 1 | None -> 1)
+
+let decr_resident t file =
+  match Hashtbl.find_opt t.resident file with
+  | Some n when n > 1 -> Hashtbl.replace t.resident file (n - 1)
+  | Some _ -> Hashtbl.remove t.resident file
+  | None -> ()
+
+(* Coalesce (file, page) pairs into maximal page-aligned runs.  The
+   sort makes the result a function of the set alone, not of eviction
+   or slot-scan order. *)
+let coalesce t pairs =
+  let pb = t.cfg.page_bytes in
+  match List.sort compare pairs with
+  | [] -> []
+  | (f0, p0) :: rest ->
+      let runs = ref [] in
+      let file = ref f0 and first = ref p0 and last = ref p0 in
+      let emit () =
+        let len = (!last - !first + 1) * pb in
+        runs := { r_file = !file; r_off = !first * pb; r_len = len } :: !runs;
+        t.s_writeback_bytes <- t.s_writeback_bytes + len
+      in
+      List.iter
+        (fun (f, p) ->
+          if f = !file && p = !last + 1 then last := p
+          else begin
+            emit ();
+            file := f;
+            first := p;
+            last := p
+          end)
+        rest;
+      emit ();
+      List.rev !runs
+
+(* Claim a frame: a never-used one, an invalidated one, or the
+   policy's victim (whose dirty page joins [evicted]). *)
+let take_frame t evicted =
+  match t.free with
+  | f :: rest ->
+      t.free <- rest;
+      f
+  | [] ->
+      if t.unused < t.cfg.pages then begin
+        let f = t.unused in
+        t.unused <- f + 1;
+        f
+      end
+      else begin
+        let f = Replacement.victim t.repl in
+        let file = t.frame_file.(f) and page = t.frame_page.(f) in
+        Hashtbl.remove t.index (file, page);
+        decr_resident t file;
+        t.s_evictions <- t.s_evictions + 1;
+        if t.frame_dirty.(f) then begin
+          t.frame_dirty.(f) <- false;
+          t.dirty <- t.dirty - 1;
+          t.s_dirty_evictions <- t.s_dirty_evictions + 1;
+          evicted := (file, page) :: !evicted
+        end;
+        f
+      end
+
+let insert_page t ~file ~page ~dirty evicted =
+  let f = take_frame t evicted in
+  t.frame_file.(f) <- file;
+  t.frame_page.(f) <- page;
+  t.frame_dirty.(f) <- dirty;
+  if dirty then t.dirty <- t.dirty + 1;
+  Hashtbl.replace t.index (file, page) f;
+  incr_resident t file;
+  Replacement.on_insert t.repl f;
+  t.s_insertions <- t.s_insertions + 1
+
+let count_access t ~type_idx ~hits ~misses =
+  t.s_hits <- t.s_hits + hits;
+  t.s_misses <- t.s_misses + misses;
+  if type_idx >= 0 && type_idx < Array.length t.type_hits then begin
+    t.type_hits.(type_idx) <- t.type_hits.(type_idx) + hits;
+    t.type_misses.(type_idx) <- t.type_misses.(type_idx) + misses
+  end
+
+let read t ~type_idx ~file ~off ~len ~logical =
+  let pb = t.cfg.page_bytes in
+  let p0 = off / pb and p1 = (off + len - 1) / pb in
+  (* An access that resumes where the file's last one stopped is a
+     sequential scan: stage the prefetch window beyond it (never past
+     end of file).  The recorded position is the page holding the next
+     unread byte — a burst ending mid-page resumes in that same page. *)
+  let seq =
+    match Hashtbl.find_opt t.seq_next file with Some next -> next = p0 | None -> false
+  in
+  Hashtbl.replace t.seq_next file ((off + len) / pb);
+  let last_page = (logical - 1) / pb in
+  let hit_bytes = ref 0 and page_hits = ref 0 and page_misses = ref 0 in
+  let prefetched = ref 0 in
+  let fetch_lo = ref (-1) and fetch_hi = ref (-1) in
+  for p = p0 to p1 do
+    match Hashtbl.find_opt t.index (file, p) with
+    | Some f ->
+        Replacement.on_hit t.repl f;
+        incr page_hits;
+        let lo = max off (p * pb) and hi = min (off + len) ((p + 1) * pb) in
+        hit_bytes := !hit_bytes + (hi - lo)
+    | None ->
+        incr page_misses;
+        if !fetch_lo < 0 then fetch_lo := p;
+        fetch_hi := p
+  done;
+  (* Prefetch refills the window only when the access itself missed —
+     hysteresis that mirrors the read-ahead staging this replaces: one
+     big fetch stages [prefetch_factor] accesses' worth of pages
+     (never less than the [prefetch_pages] floor, never past end of
+     file), then the following accesses ride the window for free
+     instead of each topping it up with a small I/O. *)
+  if seq && t.cfg.prefetch_pages > 0 && !page_misses > 0 then begin
+    let ahead = max t.cfg.prefetch_pages ((t.cfg.prefetch_factor - 1) * (p1 - p0 + 1)) in
+    let want_hi = min last_page (p1 + ahead) in
+    for p = p1 + 1 to want_hi do
+      if not (Hashtbl.mem t.index (file, p)) then begin
+        incr prefetched;
+        fetch_hi := p
+      end
+    done
+  end;
+  let evicted = ref [] in
+  let evictions_before = t.s_evictions in
+  if !fetch_lo >= 0 then
+    for p = !fetch_lo to !fetch_hi do
+      if not (Hashtbl.mem t.index (file, p)) then insert_page t ~file ~page:p ~dirty:false evicted
+    done;
+  count_access t ~type_idx ~hits:!page_hits ~misses:!page_misses;
+  t.s_hit_bytes <- t.s_hit_bytes + !hit_bytes;
+  t.s_prefetched <- t.s_prefetched + !prefetched;
+  {
+    o_fetch =
+      (match !fetch_lo with
+      | -1 -> None
+      | lo ->
+          let foff = lo * pb in
+          Some (foff, min ((!fetch_hi + 1) * pb) logical - foff));
+    o_writebacks = coalesce t !evicted;
+    o_hit_bytes = !hit_bytes;
+    o_page_hits = !page_hits;
+    o_page_misses = !page_misses;
+    o_prefetched = !prefetched;
+    o_evictions = t.s_evictions - evictions_before;
+  }
+
+let write t ~type_idx ~file ~off ~len =
+  let pb = t.cfg.page_bytes in
+  let p0 = off / pb and p1 = (off + len - 1) / pb in
+  let dirty = t.cfg.write_mode = Write_back in
+  let page_hits = ref 0 and page_misses = ref 0 in
+  let evicted = ref [] in
+  let evictions_before = t.s_evictions in
+  for p = p0 to p1 do
+    match Hashtbl.find_opt t.index (file, p) with
+    | Some f ->
+        Replacement.on_hit t.repl f;
+        incr page_hits;
+        if dirty && not t.frame_dirty.(f) then begin
+          t.frame_dirty.(f) <- true;
+          t.dirty <- t.dirty + 1
+        end
+    | None ->
+        incr page_misses;
+        insert_page t ~file ~page:p ~dirty evicted
+  done;
+  (* Writes advance the scan position too, so an alternating
+     sequential read/write stream keeps its prefetch. *)
+  Hashtbl.replace t.seq_next file ((off + len) / pb);
+  count_access t ~type_idx ~hits:!page_hits ~misses:!page_misses;
+  {
+    o_fetch = None;
+    o_writebacks = coalesce t !evicted;
+    o_hit_bytes = 0;
+    o_page_hits = !page_hits;
+    o_page_misses = !page_misses;
+    o_prefetched = 0;
+    o_evictions = t.s_evictions - evictions_before;
+  }
+
+let flush t =
+  if t.dirty = 0 then []
+  else begin
+    let pairs = ref [] in
+    for f = 0 to t.unused - 1 do
+      if t.frame_file.(f) >= 0 && t.frame_dirty.(f) then begin
+        t.frame_dirty.(f) <- false;
+        pairs := (t.frame_file.(f), t.frame_page.(f)) :: !pairs
+      end
+    done;
+    t.dirty <- 0;
+    t.s_flushes <- t.s_flushes + 1;
+    coalesce t !pairs
+  end
+
+let drop_frame t f =
+  let file = t.frame_file.(f) and page = t.frame_page.(f) in
+  Hashtbl.remove t.index (file, page);
+  decr_resident t file;
+  if t.frame_dirty.(f) then begin
+    t.frame_dirty.(f) <- false;
+    t.dirty <- t.dirty - 1
+  end;
+  t.frame_file.(f) <- -1;
+  t.frame_page.(f) <- -1;
+  Replacement.on_remove t.repl f;
+  t.free <- f :: t.free;
+  t.s_invalidations <- t.s_invalidations + 1
+
+let invalidate_file t ~file =
+  Hashtbl.remove t.seq_next file;
+  if Hashtbl.mem t.resident file then
+    for f = 0 to t.unused - 1 do
+      if t.frame_file.(f) = file then drop_frame t f
+    done
+
+let truncate_file t ~file ~logical =
+  let pb = t.cfg.page_bytes in
+  if Hashtbl.mem t.resident file then
+    for f = 0 to t.unused - 1 do
+      if t.frame_file.(f) = file && t.frame_page.(f) * pb >= logical then drop_frame t f
+    done;
+  match Hashtbl.find_opt t.seq_next file with
+  | Some next when next * pb > logical -> Hashtbl.remove t.seq_next file
+  | _ -> ()
+
+let stats t =
+  {
+    lookups = t.s_hits + t.s_misses;
+    hits = t.s_hits;
+    misses = t.s_misses;
+    hit_bytes = t.s_hit_bytes;
+    insertions = t.s_insertions;
+    evictions = t.s_evictions;
+    dirty_evictions = t.s_dirty_evictions;
+    flushes = t.s_flushes;
+    writeback_bytes = t.s_writeback_bytes;
+    prefetched_pages = t.s_prefetched;
+    invalidations = t.s_invalidations;
+  }
+
+let dirty_pages t = t.dirty
+let resident_pages t = Hashtbl.length t.index
+
+let per_type t =
+  Array.init (Array.length t.type_hits) (fun i -> (t.type_hits.(i), t.type_misses.(i)))

@@ -1,0 +1,13 @@
+type t = Lru | Clock | Two_q
+
+let all = [ Lru; Clock; Two_q ]
+let name = function Lru -> "lru" | Clock -> "clock" | Two_q -> "2q"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "lru" -> Some Lru
+  | "clock" -> Some Clock
+  | "2q" | "two_q" | "twoq" -> Some Two_q
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (name t)

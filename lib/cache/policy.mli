@@ -1,0 +1,27 @@
+(** Buffer-cache replacement policies.
+
+    Which resident page the cache sacrifices when it needs a frame.
+    LRU is the textbook baseline; CLOCK is its constant-time
+    second-chance approximation (reference bits swept by a hand); 2Q
+    (Johnson & Shasha, VLDB '94) protects the hot set from one-shot
+    sequential scans by parking first-touch pages in a FIFO probation
+    queue. *)
+
+type t =
+  | Lru  (** least recently used — exact recency order (the default) *)
+  | Clock  (** second chance: reference bits cleared by a sweeping hand *)
+  | Two_q
+      (** scan-resistant: first touch goes to a FIFO probation queue,
+          a re-reference while resident promotes to the protected LRU *)
+
+val all : t list
+(** [Lru; Clock; Two_q] — iteration order used by the benches. *)
+
+val name : t -> string
+(** Lower-case stable name: ["lru"], ["clock"], ["2q"]. *)
+
+val of_string : string -> t option
+(** Case-insensitive inverse of {!name}; also accepts ["twoq"] and
+    ["two_q"]. *)
+
+val pp : Format.formatter -> t -> unit

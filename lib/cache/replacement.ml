@@ -1,0 +1,215 @@
+module type S = sig
+  type t
+
+  val create : capacity:int -> t
+  val on_insert : t -> int -> unit
+  val on_hit : t -> int -> unit
+  val victim : t -> int
+  val on_remove : t -> int -> unit
+end
+
+let check_capacity capacity =
+  if capacity <= 0 then invalid_arg "Replacement.create: capacity must be positive"
+
+(* Exact LRU as an intrusive doubly-linked list over frame indices:
+   head = most recent, tail = victim.  -1 terminates both ends, so no
+   sentinel frames and no allocation per operation. *)
+module Lru = struct
+  type t = {
+    prev : int array;
+    next : int array;
+    mutable head : int;
+    mutable tail : int;
+  }
+
+  let create ~capacity =
+    check_capacity capacity;
+    { prev = Array.make capacity (-1); next = Array.make capacity (-1); head = -1; tail = -1 }
+
+  let unlink t f =
+    let p = t.prev.(f) and n = t.next.(f) in
+    if p >= 0 then t.next.(p) <- n else t.head <- n;
+    if n >= 0 then t.prev.(n) <- p else t.tail <- p;
+    t.prev.(f) <- -1;
+    t.next.(f) <- -1
+
+  let push_front t f =
+    t.prev.(f) <- -1;
+    t.next.(f) <- t.head;
+    if t.head >= 0 then t.prev.(t.head) <- f;
+    t.head <- f;
+    if t.tail < 0 then t.tail <- f
+
+  let on_insert t f = push_front t f
+
+  let on_hit t f =
+    if t.head <> f then begin
+      unlink t f;
+      push_front t f
+    end
+
+  let victim t =
+    if t.tail < 0 then invalid_arg "Replacement.victim: no tracked frame";
+    let f = t.tail in
+    unlink t f;
+    f
+
+  let on_remove t f = unlink t f
+end
+
+module Clock = struct
+  type t = {
+    tracked : bool array;
+    referenced : bool array;
+    mutable hand : int;
+    capacity : int;
+  }
+
+  let create ~capacity =
+    check_capacity capacity;
+    {
+      tracked = Array.make capacity false;
+      referenced = Array.make capacity false;
+      hand = 0;
+      capacity;
+    }
+
+  (* Inserted frames start with their reference bit set, so a brand-new
+     page survives the hand's first pass (classic second chance). *)
+  let on_insert t f =
+    t.tracked.(f) <- true;
+    t.referenced.(f) <- true
+
+  let on_hit t f = t.referenced.(f) <- true
+
+  let victim t =
+    (* Two full sweeps suffice: the first clears every reference bit in
+       the worst case, the second must then stop at a tracked frame. *)
+    let rec sweep steps =
+      if steps > 2 * t.capacity then invalid_arg "Replacement.victim: no tracked frame"
+      else begin
+        let f = t.hand in
+        t.hand <- (t.hand + 1) mod t.capacity;
+        if not t.tracked.(f) then sweep (steps + 1)
+        else if t.referenced.(f) then begin
+          t.referenced.(f) <- false;
+          sweep (steps + 1)
+        end
+        else begin
+          t.tracked.(f) <- false;
+          f
+        end
+      end
+    in
+    sweep 0
+
+  let on_remove t f =
+    t.tracked.(f) <- false;
+    t.referenced.(f) <- false
+end
+
+(* Simplified 2Q: two intrusive lists over the same prev/next arrays,
+   distinguished by a per-frame tag.  A1in is FIFO (insert at head,
+   victims from tail); Am is LRU.  No ghost list (A1out): a hit while
+   still resident in A1in is promotion enough for this simulator, and
+   it keeps the structure allocation-free. *)
+module Two_q = struct
+  type queue = Untracked | A1in | Am
+
+  type t = {
+    prev : int array;
+    next : int array;
+    where : queue array;
+    mutable a1_head : int;
+    mutable a1_tail : int;
+    mutable a1_len : int;
+    mutable am_head : int;
+    mutable am_tail : int;
+    a1_target : int;
+  }
+
+  let create ~capacity =
+    check_capacity capacity;
+    {
+      prev = Array.make capacity (-1);
+      next = Array.make capacity (-1);
+      where = Array.make capacity Untracked;
+      a1_head = -1;
+      a1_tail = -1;
+      a1_len = 0;
+      am_head = -1;
+      am_tail = -1;
+      a1_target = max 1 (capacity / 4);
+    }
+
+  let unlink t f =
+    let p = t.prev.(f) and n = t.next.(f) in
+    (match t.where.(f) with
+    | A1in ->
+        if p >= 0 then t.next.(p) <- n else t.a1_head <- n;
+        if n >= 0 then t.prev.(n) <- p else t.a1_tail <- p;
+        t.a1_len <- t.a1_len - 1
+    | Am ->
+        if p >= 0 then t.next.(p) <- n else t.am_head <- n;
+        if n >= 0 then t.prev.(n) <- p else t.am_tail <- p
+    | Untracked -> ());
+    t.prev.(f) <- -1;
+    t.next.(f) <- -1;
+    t.where.(f) <- Untracked
+
+  let push_a1 t f =
+    t.prev.(f) <- -1;
+    t.next.(f) <- t.a1_head;
+    if t.a1_head >= 0 then t.prev.(t.a1_head) <- f;
+    t.a1_head <- f;
+    if t.a1_tail < 0 then t.a1_tail <- f;
+    t.a1_len <- t.a1_len + 1;
+    t.where.(f) <- A1in
+
+  let push_am t f =
+    t.prev.(f) <- -1;
+    t.next.(f) <- t.am_head;
+    if t.am_head >= 0 then t.prev.(t.am_head) <- f;
+    t.am_head <- f;
+    if t.am_tail < 0 then t.am_tail <- f;
+    t.where.(f) <- Am
+
+  let on_insert t f = push_a1 t f
+
+  let on_hit t f =
+    match t.where.(f) with
+    | A1in ->
+        unlink t f;
+        push_am t f
+    | Am ->
+        if t.am_head <> f then begin
+          unlink t f;
+          push_am t f
+        end
+    | Untracked -> ()
+
+  let victim t =
+    let f =
+      if t.a1_tail >= 0 && (t.a1_len > t.a1_target || t.am_tail < 0) then t.a1_tail
+      else if t.am_tail >= 0 then t.am_tail
+      else t.a1_tail
+    in
+    if f < 0 then invalid_arg "Replacement.victim: no tracked frame";
+    unlink t f;
+    f
+
+  let on_remove t f = unlink t f
+end
+
+type t = Instance : (module S with type t = 'a) * 'a -> t
+
+let make policy ~capacity =
+  match policy with
+  | Policy.Lru -> Instance ((module Lru), Lru.create ~capacity)
+  | Policy.Clock -> Instance ((module Clock), Clock.create ~capacity)
+  | Policy.Two_q -> Instance ((module Two_q), Two_q.create ~capacity)
+
+let on_insert (Instance ((module M), s)) f = M.on_insert s f
+let on_hit (Instance ((module M), s)) f = M.on_hit s f
+let victim (Instance ((module M), s)) = M.victim s
+let on_remove (Instance ((module M), s)) f = M.on_remove s f

@@ -1,0 +1,57 @@
+(** The one interface every replacement policy implements.
+
+    A policy orders the cache's page frames (dense ints in
+    [0, capacity)); the cache proper owns the frame contents and the
+    page index and only asks the policy three questions: a frame was
+    just filled ({!S.on_insert}), a resident frame was just referenced
+    ({!S.on_hit}), and which frame to sacrifice ({!S.victim}).
+    {!S.on_remove} withdraws a frame whose page was invalidated
+    (truncate / delete), so it stops being a victim candidate until it
+    is re-inserted.
+
+    Contract: a frame is {e tracked} between [on_insert] and the
+    [victim] / [on_remove] that takes it out; [on_hit] is only called on
+    tracked frames, [on_insert] only on untracked ones.  [victim] is
+    only called when at least one frame is tracked.  Implementations are
+    deterministic — same call sequence, same victims — which the QCheck
+    determinism properties pin. *)
+
+module type S = sig
+  type t
+
+  val create : capacity:int -> t
+  (** [capacity] frames, none tracked.  Raises [Invalid_argument] if
+      [capacity <= 0]. *)
+
+  val on_insert : t -> int -> unit
+  val on_hit : t -> int -> unit
+
+  val victim : t -> int
+  (** Chooses, untracks and returns the sacrificial frame. *)
+
+  val on_remove : t -> int -> unit
+end
+
+module Lru : S
+(** Exact LRU: an intrusive doubly-linked list over frame indices;
+    every operation is O(1). *)
+
+module Clock : S
+(** Second chance: per-frame reference bits and a sweeping hand;
+    {!S.victim} clears bits until it finds one already clear. *)
+
+module Two_q : S
+(** Simplified 2Q (no ghost list): first-touch frames queue FIFO in the
+    probation queue A1in (target size = capacity / 4); a hit while in
+    A1in promotes to the LRU-managed protected queue Am.  Victims come
+    from A1in whenever it is over target, so a one-shot scan evicts its
+    own pages and never flushes Am. *)
+
+type t
+(** A policy instance chosen at runtime. *)
+
+val make : Policy.t -> capacity:int -> t
+val on_insert : t -> int -> unit
+val on_hit : t -> int -> unit
+val victim : t -> int
+val on_remove : t -> int -> unit

@@ -79,6 +79,18 @@ module Array_model = Rofs_disk.Array_model
 module Sched_policy = Rofs_sched.Policy
 module Scheduler = Rofs_sched.Scheduler
 
+(** {1 Buffer cache}
+
+    Deterministic shared block buffer cache: pluggable replacement
+    (LRU / CLOCK / 2Q), write-through or write-back with dirty-page
+    coalescing, and sequential prefetch.  Enabled via
+    [Engine.config.cache]; the default [None] keeps the engine
+    byte-identical to the uncached simulator. *)
+
+module Cache = Rofs_cache.Cache
+module Cache_policy = Rofs_cache.Policy
+module Cache_replacement = Rofs_cache.Replacement
+
 (** {1 Allocation policies} *)
 
 module Extent = Rofs_alloc.Extent

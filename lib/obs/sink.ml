@@ -7,6 +7,16 @@ type drive_stats = {
 
 let fresh_drive () = { seek_dist = Hist.create (); qd_sum = 0; qd_n = 0; qd_max = 0 }
 
+type cache_totals = {
+  ct_lookups : int;
+  ct_hits : int;
+  ct_misses : int;
+  ct_evictions : int;
+  ct_prefetched : int;
+  ct_flushes : int;
+  ct_flushed_bytes : int;
+}
+
 type t = {
   latency : Hist.t;
   queue_wait : Hist.t;
@@ -15,6 +25,12 @@ type t = {
   transfer : Hist.t;
   fault_penalty : Hist.t;
   mutable drives : drive_stats array;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_evictions : int;
+  mutable cache_prefetched : int;
+  mutable cache_flushes : int;
+  mutable cache_flushed_bytes : int;
   trace : Trace.t option;
 }
 
@@ -27,6 +43,12 @@ let create ?(trace = false) ?trace_capacity () =
     transfer = Hist.create ();
     fault_penalty = Hist.create ();
     drives = [||];
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_evictions = 0;
+    cache_prefetched = 0;
+    cache_flushes = 0;
+    cache_flushed_bytes = 0;
     trace = (if trace then Some (Trace.create ?capacity:trace_capacity ()) else None);
   }
 
@@ -38,6 +60,27 @@ let record_op t ~latency ~queue_wait ~seek ~rotation ~transfer =
   Hist.add t.transfer transfer
 
 let record_fault_penalty t ms = Hist.add t.fault_penalty ms
+
+let record_cache_op t ~hits ~misses ~evictions ~prefetched =
+  t.cache_hits <- t.cache_hits + hits;
+  t.cache_misses <- t.cache_misses + misses;
+  t.cache_evictions <- t.cache_evictions + evictions;
+  t.cache_prefetched <- t.cache_prefetched + prefetched
+
+let record_cache_flush t ~bytes =
+  t.cache_flushes <- t.cache_flushes + 1;
+  t.cache_flushed_bytes <- t.cache_flushed_bytes + bytes
+
+let cache_totals t =
+  {
+    ct_lookups = t.cache_hits + t.cache_misses;
+    ct_hits = t.cache_hits;
+    ct_misses = t.cache_misses;
+    ct_evictions = t.cache_evictions;
+    ct_prefetched = t.cache_prefetched;
+    ct_flushes = t.cache_flushes;
+    ct_flushed_bytes = t.cache_flushed_bytes;
+  }
 
 let drive t d =
   let len = Array.length t.drives in
@@ -128,6 +171,12 @@ let merge a b =
     transfer = Hist.merge a.transfer b.transfer;
     fault_penalty = Hist.merge a.fault_penalty b.fault_penalty;
     drives;
+    cache_hits = a.cache_hits + b.cache_hits;
+    cache_misses = a.cache_misses + b.cache_misses;
+    cache_evictions = a.cache_evictions + b.cache_evictions;
+    cache_prefetched = a.cache_prefetched + b.cache_prefetched;
+    cache_flushes = a.cache_flushes + b.cache_flushes;
+    cache_flushed_bytes = a.cache_flushed_bytes + b.cache_flushed_bytes;
     trace;
   }
 
@@ -159,13 +208,40 @@ let to_json t =
              ])
          t.drives)
   in
+  (* The cache member only appears when a cache was active: the
+     metrics document of an uncached run keeps its frozen key set. *)
+  let cache =
+    if t.cache_hits + t.cache_misses + t.cache_flushes = 0 then []
+    else begin
+      let c = cache_totals t in
+      [
+        ( "cache",
+          Json.Obj
+            [
+              ("lookups", Json.Int c.ct_lookups);
+              ("hits", Json.Int c.ct_hits);
+              ("misses", Json.Int c.ct_misses);
+              ( "hit_rate",
+                Json.Float
+                  (if c.ct_lookups > 0 then
+                     float_of_int c.ct_hits /. float_of_int c.ct_lookups
+                   else 0.) );
+              ("evictions", Json.Int c.ct_evictions);
+              ("prefetched_pages", Json.Int c.ct_prefetched);
+              ("flushes", Json.Int c.ct_flushes);
+              ("flushed_bytes", Json.Int c.ct_flushed_bytes);
+            ] );
+      ]
+    end
+  in
   Json.Obj
-    [
-      ("latency_ms", hist_json t.latency);
-      ("queue_wait_ms", hist_json t.queue_wait);
-      ("seek_ms", hist_json t.seek);
-      ("rotation_ms", hist_json t.rotation);
-      ("transfer_ms", hist_json t.transfer);
-      ("fault_penalty_ms", hist_json t.fault_penalty);
-      ("drives", Json.Arr drives);
-    ]
+    ([
+       ("latency_ms", hist_json t.latency);
+       ("queue_wait_ms", hist_json t.queue_wait);
+       ("seek_ms", hist_json t.seek);
+       ("rotation_ms", hist_json t.rotation);
+       ("transfer_ms", hist_json t.transfer);
+       ("fault_penalty_ms", hist_json t.fault_penalty);
+       ("drives", Json.Arr drives);
+     ]
+    @ cache)

@@ -36,6 +36,13 @@ val record_op :
 val record_fault_penalty : t -> float -> unit
 (** Extra service time charged by a transient media fault (ms). *)
 
+val record_cache_op : t -> hits:int -> misses:int -> evictions:int -> prefetched:int -> unit
+(** One buffer-cache access: pages found resident / faulted in, frames
+    recycled, and pages staged ahead of the access. *)
+
+val record_cache_flush : t -> bytes:int -> unit
+(** One periodic dirty-page flush that pushed [bytes] out. *)
+
 val record_seek : t -> drive:int -> cylinders:int -> unit
 (** Seek distance of one repositioning, in cylinders. *)
 
@@ -68,6 +75,19 @@ val drive_queue_depth : t -> int -> float * int
 (** [(mean, max)] sampled queue depth of one drive; [(0., 0)] if never
     sampled. *)
 
+type cache_totals = {
+  ct_lookups : int;  (** [ct_hits + ct_misses] *)
+  ct_hits : int;
+  ct_misses : int;
+  ct_evictions : int;
+  ct_prefetched : int;
+  ct_flushes : int;
+  ct_flushed_bytes : int;
+}
+
+val cache_totals : t -> cache_totals
+(** Buffer-cache counters; all zero when no cache was active. *)
+
 val trace_ref : t -> Trace.t option
 
 val merge : t -> t -> t
@@ -80,4 +100,6 @@ val hist_json : Hist.t -> Json.t
 (** Summary object: [count], [mean], [min], [max], [p50/p90/p99/p999]. *)
 
 val to_json : t -> Json.t
-(** Full metrics document: the six histograms plus a [drives] array. *)
+(** Full metrics document: the six histograms plus a [drives] array,
+    and — only when cache counters were recorded — a [cache] object
+    with hit/miss/eviction counts and the hit rate. *)

@@ -6,6 +6,10 @@ type kind =
   | Fault_repair
   | Rebuild
   | Media
+  | Cache_hit
+  | Cache_miss
+  | Cache_evict
+  | Cache_flush
 
 let kind_name = function
   | Arrival -> "arrival"
@@ -15,6 +19,10 @@ let kind_name = function
   | Fault_repair -> "fault_repair"
   | Rebuild -> "rebuild"
   | Media -> "media"
+  | Cache_hit -> "cache_hit"
+  | Cache_miss -> "cache_miss"
+  | Cache_evict -> "cache_evict"
+  | Cache_flush -> "cache_flush"
 
 type event = {
   at_ms : float;

@@ -23,6 +23,10 @@ type kind =
   | Fault_repair  (** a drive came back / rebuild finished *)
   | Rebuild  (** one rebuild chunk was copied *)
   | Media  (** a transient media error cost a retry *)
+  | Cache_hit  (** bytes served (or a write absorbed) from the buffer cache *)
+  | Cache_miss  (** a cache fetch was issued for missing pages *)
+  | Cache_evict  (** dirty pages were written back to free frames *)
+  | Cache_flush  (** the periodic flush pushed dirty pages out *)
 
 val kind_name : kind -> string
 

@@ -9,6 +9,7 @@ module Array_model = Rofs_disk.Array_model
 module Drive = Rofs_disk.Drive
 module Sink = Rofs_obs.Sink
 module Trc = Rofs_obs.Trace
+module Cache = Rofs_cache.Cache
 module File_type = Rofs_workload.File_type
 module Workload = Rofs_workload.Workload
 
@@ -29,6 +30,7 @@ type config = {
   warmup_checkpoints : int;
   metadata_io : bool;
   faults : Fault_plan.config;
+  cache : Cache.config option;
 }
 
 let default_config =
@@ -49,6 +51,7 @@ let default_config =
     warmup_checkpoints = 5;
     metadata_io = false;
     faults = Fault_plan.none;
+    cache = None;
   }
 
 let validate_config cfg =
@@ -68,6 +71,7 @@ let validate_config cfg =
   if cfg.max_alloc_ops <= 0 then fail "max_alloc_ops must be positive";
   if cfg.readahead_factor < 1 then fail "readahead_factor must be >= 1";
   if cfg.warmup_checkpoints < 0 then fail "warmup_checkpoints must be >= 0";
+  Option.iter Cache.validate cfg.cache;
   Fault_plan.validate cfg.faults
 
 type alloc_report = {
@@ -89,6 +93,26 @@ type throughput_report = {
   utilization : float;
   mean_extents_per_file : float;
   meta_bytes : int;
+}
+
+type cache_report = {
+  cr_policy : string;
+  cr_write_mode : string;
+  cr_pages : int;
+  cr_page_bytes : int;
+  cr_lookups : int;
+  cr_hits : int;
+  cr_misses : int;
+  cr_hit_rate : float;
+  cr_hit_bytes : int;
+  cr_insertions : int;
+  cr_evictions : int;
+  cr_dirty_evictions : int;
+  cr_flushes : int;
+  cr_writeback_bytes : int;
+  cr_prefetched_pages : int;
+  cr_invalidations : int;
+  cr_per_type : (string * int * int) array;
 }
 
 type fault_report = {
@@ -123,12 +147,13 @@ type mode =
   | Full_mix  (** the application-performance test *)
   | Whole_file_rw  (** the sequential-performance test *)
 
-(* The event heap holds four event kinds: a user whose think time
+(* The event heap holds five event kinds: a user whose think time
    expired (perform its next operation); on the dispatch-queue path, a
    drive whose in-service request finishes at the event's time; the next
-   scripted or drawn drive fail/repair from the fault plan; and the next
-   background rebuild I/O of a resynchronising drive. *)
-type event = Wake of user | Drive_done of int | Fault_tick | Rebuild_tick of int
+   scripted or drawn drive fail/repair from the fault plan; the next
+   background rebuild I/O of a resynchronising drive; and the buffer
+   cache's periodic dirty-page flush (write-back mode only). *)
+type event = Wake of user | Drive_done of int | Fault_tick | Rebuild_tick of int | Flush_tick
 
 (* What a queued-path operation completion unblocks: a user's think
    time, or the next chunk of a drive's rebuild sweep (not before
@@ -163,6 +188,9 @@ type t = {
   mutable meta_bytes : int;
   mutable rebuild_ios : int;
   mutable data_loss : int;
+  cache : Cache.t option;
+      (** the shared buffer cache; [None] (the default) keeps the
+          uncached paths byte-identical to the seed *)
   mutable obs : Sink.t option;
       (** instrumentation sink; [None] (the default) means no recording
           and no extra allocation anywhere in the engine or the array *)
@@ -272,7 +300,7 @@ let populate t =
     (* Write-behind batches requests, so growth lands in readahead-sized
        chunks rather than single bursts. *)
     let step =
-      min remaining (max 1 t.cfg.readahead_factor * File_type.draw_rw_bytes ft t.rng)
+      min remaining (max 1 (t.cfg.readahead_factor * File_type.draw_rw_bytes ft t.rng))
     in
     match Volume.grow t.volume ~file ~bytes:step with
     | Ok () ->
@@ -313,6 +341,12 @@ let seed_events t =
   (match t.pending_fault with
   | Some (at, _) -> Heap.push t.heap ~prio:(Float.max at t.now) Fault_tick
   | None -> ());
+  (* The clear also dropped the cache's flush tick: restart the chain
+     (one tick outstanding at a time, like the fault tick). *)
+  (match t.cache with
+  | Some cache when Cache.write_back cache ->
+      Heap.push t.heap ~prio:(t.now +. Cache.flush_interval_ms cache) Flush_tick
+  | Some _ | None -> ());
   Array.iteri
     (fun d _ ->
       let live =
@@ -381,6 +415,7 @@ let create cfg ~policy ~workload =
       meta_bytes = 0;
       rebuild_ios = 0;
       data_loss = 0;
+      cache = Option.map (fun c -> Cache.create ~ntypes:(Array.length types) c) cfg.cache;
       obs = None;
     }
   in
@@ -486,6 +521,87 @@ let do_io t ~kind ~file ~off ~len =
     t.data_loss <- t.data_loss + 1;
     Done t.now
 
+(* Instantaneous cache trace mark (hits, fetches, write-back bursts). *)
+let cache_mark t ~kind ~bytes =
+  match t.obs with
+  | None -> ()
+  | Some sink ->
+      if Sink.tracing sink then
+        Sink.event sink { Trc.at_ms = t.now; dur_ms = 0.; kind; drive = -1; op_id = -1; bytes }
+
+let record_cache_outcome t (o : Cache.outcome) =
+  match t.obs with
+  | None -> ()
+  | Some sink ->
+      Sink.record_cache_op sink ~hits:o.Cache.o_page_hits ~misses:o.Cache.o_page_misses
+        ~evictions:o.Cache.o_evictions ~prefetched:o.Cache.o_prefetched
+
+(* Push one coalesced dirty-page run to disk.  Nobody waits on cache
+   write-back and its bytes were already credited when the application's
+   write was absorbed, so — like metadata write-back — it occupies the
+   drives uncredited; the queued path routes it through the dispatch
+   queues like everything else. *)
+let submit_writeback t (run : Cache.run) =
+  if Volume.file_exists t.volume ~file:run.Cache.r_file then begin
+    let extents =
+      Volume.slice_bytes t.volume ~file:run.Cache.r_file ~off:run.Cache.r_off
+        ~len:run.Cache.r_len
+    in
+    if extents <> [] then begin
+      try
+        if not (queued t) then
+          ignore (Array_model.access t.array ~now:t.now ~kind:Array_model.Write ~extents : float)
+        else begin
+          let _op, started = Array_model.submit t.array ~now:t.now ~kind:Array_model.Write ~extents in
+          post_dispatched t ~credit:false started
+        end
+      with Fault.Data_loss _ -> t.data_loss <- t.data_loss + 1
+    end
+  end
+
+let submit_writebacks t ~kind runs =
+  if runs <> [] then begin
+    List.iter (submit_writeback t) runs;
+    cache_mark t ~kind
+      ~bytes:(List.fold_left (fun acc (r : Cache.run) -> acc + r.Cache.r_len) 0 runs)
+  end
+
+(* The shared-cache data path.  Reads serve resident pages from memory
+   and fault the missing pages in as one coalesced page-aligned fetch,
+   widened by the prefetcher on a detected sequential scan; the user
+   waits on that fetch alone.  Hit bytes are NOT credited to throughput
+   — they were credited once when fetched from disk, exactly as the
+   read-ahead window credits its staged bytes at staging time and
+   serves later bursts for free; hits pay off as time saved, not as a
+   second credit.  Write-through updates the cache and pays the disk
+   write as before; write-back absorbs the write in memory (credited
+   now — the eventual flush is uncredited) and completes immediately,
+   with dirty pages reaching disk on eviction or at the periodic
+   flush. *)
+let do_cached_io t cache ~type_idx ~kind ~file ~off ~len ~logical =
+  match kind with
+  | Array_model.Read ->
+      let o = Cache.read cache ~type_idx ~file ~off ~len ~logical in
+      record_cache_outcome t o;
+      submit_writebacks t ~kind:Trc.Cache_evict o.Cache.o_writebacks;
+      if o.Cache.o_hit_bytes > 0 then
+        cache_mark t ~kind:Trc.Cache_hit ~bytes:o.Cache.o_hit_bytes;
+      (match o.Cache.o_fetch with
+      | None -> Done t.now
+      | Some (foff, flen) ->
+          cache_mark t ~kind:Trc.Cache_miss ~bytes:flen;
+          do_io t ~kind ~file ~off:foff ~len:flen)
+  | Array_model.Write ->
+      let o = Cache.write cache ~type_idx ~file ~off ~len in
+      record_cache_outcome t o;
+      submit_writebacks t ~kind:Trc.Cache_evict o.Cache.o_writebacks;
+      if Cache.write_back cache then begin
+        t.in_flight <- (t.now, t.now, len) :: t.in_flight;
+        cache_mark t ~kind:Trc.Cache_hit ~bytes:len;
+        Done t.now
+      end
+      else do_io t ~kind ~file ~off ~len
+
 let do_read_write t user ~kind ~whole =
   match pick_file t user with
   | None -> Done t.now
@@ -515,6 +631,15 @@ let do_read_write t user ~kind ~whole =
                 (off, len)
           end
         in
+        match t.cache with
+        | Some cache when not whole ->
+            (* The shared cache subsumes the per-user read-ahead /
+               write-behind windows below: prefetch detection is
+               per-file and the staged pages are visible to every
+               user, with real eviction under memory pressure.
+               Whole-file test transfers still always hit the disk. *)
+            do_cached_io t cache ~type_idx:user.type_idx ~kind ~file ~off ~len ~logical
+        | Some _ | None ->
         (* Read-ahead / write-behind: on a sequential scan, stage
            [readahead_factor] bursts per disk visit; bursts already
            inside the staged window complete from memory.  Whole-file
@@ -597,7 +722,13 @@ let do_truncate t user =
   t.alloc_ops <- t.alloc_ops + 1;
   (match pick_file t user with
   | None -> ()
-  | Some file -> Volume.truncate t.volume ~file ~bytes:user.ft.File_type.truncate_bytes);
+  | Some file ->
+      Volume.truncate t.volume ~file ~bytes:user.ft.File_type.truncate_bytes;
+      (* Pages past the new end of file are stale; drop them. *)
+      Option.iter
+        (fun cache ->
+          Cache.truncate_file cache ~file ~logical:(Volume.logical_bytes t.volume ~file))
+        t.cache);
   (Done t.now, false)
 
 (* Delete removes the file and immediately recreates it at the size it
@@ -612,6 +743,8 @@ let do_delete t user =
   | Some file ->
       let size = Volume.logical_bytes t.volume ~file in
       Volume.delete t.volume ~file;
+      (* Deleted data has nowhere to go: its dirty pages die with it. *)
+      Option.iter (fun cache -> Cache.invalidate_file cache ~file) t.cache;
       Array.iter (fun u -> if u.file = file then u.file <- -1) t.users;
       let fresh =
         Volume.create_file t.volume ~type_idx:user.type_idx
@@ -808,6 +941,23 @@ let run_events t ~mode ~stop =
               Hashtbl.replace t.waiters (Array_model.op_id op)
                 (Rebuild_waiter { drive = d; next_ok = t.now +. rebuild_gap_ms t }));
         if not (stop ~failed:false) then loop ()
+    | Some (time, Flush_tick) ->
+        t.now <- Float.max t.now time;
+        (match t.cache with
+        | Some cache ->
+            let runs = Cache.flush cache in
+            List.iter (submit_writeback t) runs;
+            (match t.obs with
+            | Some sink when runs <> [] ->
+                let bytes =
+                  List.fold_left (fun acc (r : Cache.run) -> acc + r.Cache.r_len) 0 runs
+                in
+                Sink.record_cache_flush sink ~bytes;
+                cache_mark t ~kind:Trc.Cache_flush ~bytes
+            | Some _ | None -> ());
+            Heap.push t.heap ~prio:(t.now +. Cache.flush_interval_ms cache) Flush_tick
+        | None -> ());
+        if not (stop ~failed:false) then loop ()
   in
   loop ()
 
@@ -930,6 +1080,38 @@ let repair_drive t ~drive =
   match Array_model.drive_state t.array ~drive with
   | `Rebuilding _ -> kick_rebuild t ~drive ~at:t.now
   | `Healthy | `Failed -> ()
+
+let cache_report t =
+  Option.map
+    (fun cache ->
+      let s = Cache.stats cache in
+      let cfg = match t.cfg.cache with Some c -> c | None -> assert false in
+      {
+        cr_policy = Rofs_cache.Policy.name cfg.Cache.policy;
+        cr_write_mode = Cache.write_mode_name cfg.Cache.write_mode;
+        cr_pages = cfg.Cache.pages;
+        cr_page_bytes = cfg.Cache.page_bytes;
+        cr_lookups = s.Cache.lookups;
+        cr_hits = s.Cache.hits;
+        cr_misses = s.Cache.misses;
+        cr_hit_rate =
+          (if s.Cache.lookups > 0 then
+             float_of_int s.Cache.hits /. float_of_int s.Cache.lookups
+           else 0.);
+        cr_hit_bytes = s.Cache.hit_bytes;
+        cr_insertions = s.Cache.insertions;
+        cr_evictions = s.Cache.evictions;
+        cr_dirty_evictions = s.Cache.dirty_evictions;
+        cr_flushes = s.Cache.flushes;
+        cr_writeback_bytes = s.Cache.writeback_bytes;
+        cr_prefetched_pages = s.Cache.prefetched_pages;
+        cr_invalidations = s.Cache.invalidations;
+        cr_per_type =
+          Array.mapi
+            (fun i (hits, misses) -> (t.types.(i).File_type.name, hits, misses))
+            (Cache.per_type cache);
+      })
+    t.cache
 
 let fault_report t =
   let st = Array_model.fault_state t.array in

@@ -72,6 +72,16 @@ type config = {
           with retry / sector-remap, and online-rebuild pacing.  The
           default {!Rofs_fault.Plan.none} disables everything and keeps
           the engine byte-identical to one without a fault subsystem. *)
+  cache : Rofs_cache.Cache.config option;
+      (** shared block buffer cache.  When set, application-test reads
+          and writes go through it: resident pages complete from
+          memory, misses fault in as one coalesced page-aligned fetch,
+          sequential scans trigger shared prefetch (subsuming the
+          per-user [readahead_factor] windows, which only apply
+          uncached), and write-back mode absorbs writes with dirty
+          pages flushed on eviction or a periodic tick.  The default
+          [None] keeps every code path byte-identical to the seed —
+          the frozen goldens pin this. *)
 }
 
 val default_config : config
@@ -104,6 +114,27 @@ type throughput_report = {
   utilization : float;
   mean_extents_per_file : float;
   meta_bytes : int;  (** metadata traffic charged (0 unless [metadata_io]) *)
+}
+
+type cache_report = {
+  cr_policy : string;  (** replacement policy name ("lru" / "clock" / "2q") *)
+  cr_write_mode : string;  (** "through" / "back" *)
+  cr_pages : int;
+  cr_page_bytes : int;
+  cr_lookups : int;  (** pages examined — [cr_hits + cr_misses] *)
+  cr_hits : int;
+  cr_misses : int;
+  cr_hit_rate : float;  (** [hits / lookups], 0 when nothing was looked up *)
+  cr_hit_bytes : int;  (** requested bytes served from memory *)
+  cr_insertions : int;
+  cr_evictions : int;
+  cr_dirty_evictions : int;
+  cr_flushes : int;  (** periodic flush cycles that found dirty pages *)
+  cr_writeback_bytes : int;  (** dirty bytes pushed out (evictions + flushes) *)
+  cr_prefetched_pages : int;
+  cr_invalidations : int;  (** pages dropped by delete / truncate *)
+  cr_per_type : (string * int * int) array;
+      (** per file type: (name, hits, misses) *)
 }
 
 type fault_report = {
@@ -171,6 +202,10 @@ val repair_drive : t -> drive:int -> unit
 
 val fault_report : t -> fault_report
 (** Everything the fault subsystem did so far. *)
+
+val cache_report : t -> cache_report option
+(** Buffer-cache counters so far; [None] when [config.cache] is
+    [None]. *)
 
 (** {1 Instrumentation}
 

@@ -29,9 +29,21 @@ let pp_fault ppf (r : Engine.fault_report) =
     healthy failed rebuilding r.Engine.data_loss r.Engine.media_errors r.Engine.retries
     r.Engine.remaps r.Engine.reconstructed_reads r.Engine.degraded_writes r.Engine.rebuild_ios
 
+let pp_cache ppf (r : Engine.cache_report) =
+  Format.fprintf ppf
+    "%s/%s, %d x %dK pages: %d/%d hits (%.1f%%), %d evictions (%d dirty), %d flushes, %s \
+     written back"
+    r.Engine.cr_policy r.Engine.cr_write_mode r.Engine.cr_pages
+    (r.Engine.cr_page_bytes / 1024)
+    r.Engine.cr_hits r.Engine.cr_lookups
+    (100. *. r.Engine.cr_hit_rate)
+    r.Engine.cr_evictions r.Engine.cr_dirty_evictions r.Engine.cr_flushes
+    (Format.asprintf "%a" Rofs_util.Units.pp_bytes r.Engine.cr_writeback_bytes)
+
 let alloc_to_string r = Format.asprintf "%a" pp_alloc r
 let throughput_to_string r = Format.asprintf "%a" pp_throughput r
 let fault_to_string r = Format.asprintf "%a" pp_fault r
+let cache_to_string r = Format.asprintf "%a" pp_cache r
 
 let drive_to_string (d : Engine.drive_report) =
   Printf.sprintf "util %5.1f%%, queue %.1f mean / %d max, %d reqs, %d seeks, %s"
@@ -39,13 +51,14 @@ let drive_to_string (d : Engine.drive_report) =
     d.Engine.dr_queue_mean d.Engine.dr_queue_max d.Engine.dr_requests d.Engine.dr_seeks
     (Format.asprintf "%a" Rofs_util.Units.pp_bytes d.Engine.dr_bytes)
 
-let summary ?faults ?drives ~workload ~policy ~alloc ~application ~sequential () =
+let summary ?faults ?cache ?drives ~workload ~policy ~alloc ~application ~sequential () =
   let buffer = Buffer.create 128 in
   Buffer.add_string buffer (Printf.sprintf "%s on %s\n" policy workload);
   let line label value = Buffer.add_string buffer (Printf.sprintf "  %-12s %s\n" label value) in
   Option.iter (fun r -> line "allocation" (alloc_to_string r)) alloc;
   Option.iter (fun r -> line "application" (throughput_to_string r)) application;
   Option.iter (fun r -> line "sequential" (throughput_to_string r)) sequential;
+  Option.iter (fun r -> line "cache" (cache_to_string r)) cache;
   Option.iter (fun r -> line "faults" (fault_to_string r)) faults;
   Option.iter
     (fun (ds : Engine.drive_report array) ->
@@ -107,6 +120,45 @@ let fault_json (r : Engine.fault_report) =
       ("rebuild_ios", Json.Int r.Engine.rebuild_ios);
     ]
 
+let cache_json (r : Engine.cache_report) =
+  let per_type =
+    Array.to_list
+      (Array.map
+         (fun (name, hits, misses) ->
+           Json.Obj
+             [
+               ("type", Json.Str name);
+               ("hits", Json.Int hits);
+               ("misses", Json.Int misses);
+               ( "hit_rate",
+                 Json.Float
+                   (if hits + misses > 0 then
+                      float_of_int hits /. float_of_int (hits + misses)
+                    else 0.) );
+             ])
+         r.Engine.cr_per_type)
+  in
+  Json.Obj
+    [
+      ("policy", Json.Str r.Engine.cr_policy);
+      ("write_mode", Json.Str r.Engine.cr_write_mode);
+      ("pages", Json.Int r.Engine.cr_pages);
+      ("page_bytes", Json.Int r.Engine.cr_page_bytes);
+      ("lookups", Json.Int r.Engine.cr_lookups);
+      ("hits", Json.Int r.Engine.cr_hits);
+      ("misses", Json.Int r.Engine.cr_misses);
+      ("hit_rate", Json.Float r.Engine.cr_hit_rate);
+      ("hit_bytes", Json.Int r.Engine.cr_hit_bytes);
+      ("insertions", Json.Int r.Engine.cr_insertions);
+      ("evictions", Json.Int r.Engine.cr_evictions);
+      ("dirty_evictions", Json.Int r.Engine.cr_dirty_evictions);
+      ("flushes", Json.Int r.Engine.cr_flushes);
+      ("writeback_bytes", Json.Int r.Engine.cr_writeback_bytes);
+      ("prefetched_pages", Json.Int r.Engine.cr_prefetched_pages);
+      ("invalidations", Json.Int r.Engine.cr_invalidations);
+      ("per_type", Json.Arr per_type);
+    ]
+
 let drive_json (d : Engine.drive_report) =
   Json.Obj
     [
@@ -123,7 +175,8 @@ let drive_json (d : Engine.drive_report) =
       ("queue_depth_max", Json.Int d.Engine.dr_queue_max);
     ]
 
-let to_json ?alloc ?application ?sequential ?faults ?drives ?metrics ~workload ~policy () =
+let to_json ?alloc ?application ?sequential ?faults ?cache ?drives ?metrics ~workload ~policy
+    () =
   let opt name enc v = Option.to_list (Option.map (fun x -> (name, enc x)) v) in
   Json.Obj
     ([ ("schema", Json.Str "rofs-report-v1"); ("policy", Json.Str policy);
@@ -131,6 +184,7 @@ let to_json ?alloc ?application ?sequential ?faults ?drives ?metrics ~workload ~
     @ opt "allocation" alloc_json alloc
     @ opt "application" throughput_json application
     @ opt "sequential" throughput_json sequential
+    @ opt "cache" cache_json cache
     @ opt "faults" fault_json faults
     @ opt "drives"
         (fun ds -> Json.Arr (Array.to_list (Array.map drive_json ds)))

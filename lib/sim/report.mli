@@ -16,15 +16,20 @@ val pp_throughput : Format.formatter -> Engine.throughput_report -> unit
 val pp_fault : Format.formatter -> Engine.fault_report -> unit
 (** e.g. ["7 healthy / 1 failed / 0 rebuilding; 0 lost ops, ..."]. *)
 
+val pp_cache : Format.formatter -> Engine.cache_report -> unit
+(** e.g. ["lru/back, 1024 x 8K pages: 912/1350 hits (67.6%), ..."]. *)
+
 val alloc_to_string : Engine.alloc_report -> string
 val throughput_to_string : Engine.throughput_report -> string
 val fault_to_string : Engine.fault_report -> string
+val cache_to_string : Engine.cache_report -> string
 
 val drive_to_string : Engine.drive_report -> string
 (** e.g. ["util  43.2%, queue 1.3 mean / 4 max, 1234 reqs, 87 seeks, 12 M"]. *)
 
 val summary :
   ?faults:Engine.fault_report ->
+  ?cache:Engine.cache_report ->
   ?drives:Engine.drive_report array ->
   workload:string -> policy:string ->
   alloc:Engine.alloc_report option ->
@@ -40,6 +45,7 @@ val to_json :
   ?application:Engine.throughput_report ->
   ?sequential:Engine.throughput_report ->
   ?faults:Engine.fault_report ->
+  ?cache:Engine.cache_report ->
   ?drives:Engine.drive_report array ->
   ?metrics:Rofs_obs.Sink.t ->
   workload:string -> policy:string ->
@@ -47,5 +53,5 @@ val to_json :
   Rofs_obs.Json.t
 (** The machine-readable counterpart of {!summary}: a
     ["rofs-report-v1"] document with one member per supplied report
-    ([allocation] / [application] / [sequential] / [faults] / [drives])
-    plus the sink's latency histograms under [metrics]. *)
+    ([allocation] / [application] / [sequential] / [cache] / [faults] /
+    [drives]) plus the sink's latency histograms under [metrics]. *)

@@ -134,6 +134,32 @@ let test_hist_basics () =
   Hist.add h (-3.);
   check_bool "negative clamps to zero bucket" true (Hist.min_value h = Some 0.)
 
+let test_hist_empty_quantiles () =
+  (* Audit of the n = 0 path: every quantile accessor — including the
+     raw [quantile] at both extremes and out-of-range q — must return 0
+     rather than walk the (empty) buckets, and the scalar summaries
+     must stay well-defined. *)
+  let h = Hist.create () in
+  List.iter
+    (fun (name, v) -> check_exact_float name 0. v)
+    [
+      ("p50", Hist.p50 h);
+      ("p90", Hist.p90 h);
+      ("p99", Hist.p99 h);
+      ("p999", Hist.p999 h);
+      ("quantile 0", Hist.quantile h 0.);
+      ("quantile 1", Hist.quantile h 1.);
+      ("quantile below range", Hist.quantile h (-1.));
+      ("quantile above range", Hist.quantile h 2.);
+      ("mean", Hist.mean h);
+      ("total", Hist.total h);
+    ];
+  check_int "count" 0 (Hist.count h);
+  check_bool "no min" true (Hist.min_value h = None);
+  check_bool "no max" true (Hist.max_value h = None);
+  (* merging two empties must stay empty, not fabricate samples *)
+  check_bool "merge of empties is empty" true (Hist.is_empty (Hist.merge h (Hist.create ())))
+
 (* ------------------------------------------------------------------ *)
 (* JSON                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -400,6 +426,7 @@ let () =
       ( "hist",
         [
           quick "basics" test_hist_basics;
+          quick "empty quantiles are zero" test_hist_empty_quantiles;
           quick "pool-built partitions merge to the whole" test_merge_on_pool;
           QCheck_alcotest.to_alcotest prop_bucket_monotone;
           QCheck_alcotest.to_alcotest prop_quantiles_ordered;

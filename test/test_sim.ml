@@ -378,6 +378,46 @@ let test_engine_readahead_reduces_ios () =
     true
     (float_of_int with_ra < 0.7 *. float_of_int without_ra)
 
+let test_engine_degenerate_growth_step_terminates () =
+  (* Regression: populate grows files in steps of
+     [readahead_factor * draw_rw_bytes]; the [max 1] guard must cover
+     the whole product, so a file type whose byte draws bottom out at
+     the minimum still makes progress.  With the guard parenthesized
+     around the factor alone, a zero-byte draw would loop forever. *)
+  check_bool "draws never reach zero" true
+    (let ft = { (List.hd tiny_workload.Workload.types) with rw_mean_bytes = 1; rw_dev_bytes = 1 } in
+     let rng = C.Rng.create ~seed:7 in
+     let ok = ref true in
+     for _ = 1 to 10_000 do
+       if File_type.draw_rw_bytes ft rng < 1 then ok := false
+     done;
+     !ok);
+  let degenerate =
+    {
+      Workload.name = "DEGENERATE";
+      description = "single-byte growth steps";
+      types =
+        [
+          {
+            (List.hd tiny_workload.Workload.types) with
+            File_type.name = "degenerate";
+            count = 3;
+            users = 2;
+            rw_mean_bytes = 1;
+            rw_dev_bytes = 1;
+            initial_mean_bytes = 32 * 1024;
+            initial_dev_bytes = 8 * 1024;
+            delete_pct_of_deallocs = 0;
+          };
+        ];
+    }
+  in
+  (* creation runs populate: returning at all is the regression check *)
+  let engine = Experiment.make_engine ~config:quick_config rb_spec degenerate in
+  let v = Engine.volume engine in
+  check_int "all files created" 3 (Volume.file_count v ~type_idx:0);
+  check_bool "files actually grew" true (Volume.used_bytes v > 0)
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   Alcotest.run "rofs_sim"
@@ -411,5 +451,6 @@ let () =
           quick "governor caps utilization" test_engine_governor_caps_utilization;
           quick "fill plateaus gracefully" test_engine_fill_plateaus_gracefully;
           quick "read-ahead reduces I/Os" test_engine_readahead_reduces_ios;
+          quick "degenerate growth step terminates" test_engine_degenerate_growth_step_terminates;
         ] );
     ]
