@@ -1,0 +1,84 @@
+(* Trace replay: allocator x cache policy on a recorded TP trace.
+
+   One scaled transaction-processing run is recorded once — population,
+   fill-phase allocation churn and the measured application window all
+   land in the trace — and then the identical operation stream is
+   replayed against every allocator and cache configuration.  This is
+   the comparison the stochastic drivers cannot make: their request
+   streams depend on engine timing, so two policies never see the same
+   operations.  Under replay the operations are fixed and only the
+   system under test varies.
+
+   Throughput percentages are not shown: replay is open-loop and the
+   trace's long no-I/O fill prefix dilutes them by construction (see
+   DESIGN.md).  The comparable quantities are the I/O count the cache
+   lets through, hit rate, bytes moved and allocation behaviour. *)
+
+module C = Core
+
+let mb = 1024 * 1024
+
+let run () =
+  let config = { !Common.config with C.Engine.max_measure_ms = 10_000. } in
+  let tp = C.Workload.scaled C.Workload.tp ~factor:0.25 in
+  let trace, app, _src = Common.timed "replay:record" (fun () ->
+      C.Trace_replay.record_run ~config Common.rbuddy_selected tp)
+  in
+  Common.note
+    [
+      Printf.sprintf
+        "recorded %d events (%d files) from a TP application run of %d I/Os"
+        (C.Trace.event_count trace)
+        (List.length trace.C.Trace.initial)
+        app.C.Engine.io_ops;
+    ];
+  let allocators =
+    [
+      ("rbuddy-5", Common.rbuddy_selected);
+      ("extent-3", Common.extent_selected tp);
+      ("fixed-16K", Common.fixed_spec tp);
+    ]
+  in
+  let caches =
+    ("none", None)
+    :: List.map
+         (fun p -> (C.Cache_policy.name p, Some (C.Cache.config ~mb:8 ~policy:p ())))
+         C.Cache_policy.all
+  in
+  let cells =
+    List.concat_map (fun a -> List.map (fun c -> (a, c)) caches) allocators
+  in
+  let t =
+    C.Table.create
+      ~header:
+        [
+          "allocator"; "cache"; "I/Os"; "hit rate"; "MB moved"; "alloc fails";
+          "int frag"; "util";
+        ]
+  in
+  let rows =
+    Common.par_map
+      (fun (((alloc_name, spec), (cache_name, cache)) :
+             (string * C.Experiment.policy_spec) * (string * C.Cache.config option)) ->
+        let config = { config with C.Engine.cache } in
+        let o = C.Trace_replay.run ~config ~workload:tp spec trace in
+        let r = o.C.Trace_replay.report in
+        let hit =
+          match C.Engine.cache_report o.C.Trace_replay.engine with
+          | Some cr -> Common.pct cr.C.Engine.cr_hit_rate
+          | None -> "-"
+        in
+        [
+          alloc_name;
+          cache_name;
+          string_of_int r.C.Trace_replay.io_ops;
+          hit;
+          Printf.sprintf "%.1f" (float_of_int r.C.Trace_replay.bytes_moved /. float_of_int mb);
+          string_of_int r.C.Trace_replay.alloc_failures;
+          Common.pct r.C.Trace_replay.internal_frag;
+          Common.pct r.C.Trace_replay.utilization;
+        ])
+      cells
+  in
+  List.iter (C.Table.add_row t) rows;
+  Common.emit ~title:"Replay of a recorded TP trace: allocator x cache policy" t

@@ -26,6 +26,7 @@ let benches =
     ("fault", "degradation table under drive failure and rebuild", Bench_fault.run);
     ("extension", "log-structured allocation extension (Section 6)", Bench_extension.run);
     ("micro", "allocator micro-benchmarks (Bechamel)", Bench_micro.run);
+    ("replay", "allocator x cache policy on a recorded TP trace", Bench_replay.run);
   ]
 
 let list_benches () =

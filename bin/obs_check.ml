@@ -102,6 +102,24 @@ let check_file file =
                 match J.member "cells" doc with
                 | Some (J.Arr (_ :: _)) -> ()
                 | _ -> problem file "bench document has no cells")
+            | Some (J.Str "rofs-replay-v1") -> (
+                (match J.member "replay" doc with
+                | Some r ->
+                    List.iter
+                      (fun name ->
+                        match number (J.member name r) with
+                        | Some v when v >= 0. -> ()
+                        | Some _ -> problem file (Printf.sprintf "replay.%s is negative" name)
+                        | None ->
+                            problem file
+                              (Printf.sprintf "replay.%s missing or non-numeric" name))
+                      [ "pct_of_max"; "bytes_moved"; "io_ops"; "elapsed_ms" ]
+                | None -> problem file "replay document has no replay member");
+                check_cache file doc;
+                (* metrics are attached only in --json runs with a sink *)
+                match J.member "metrics" doc with
+                | Some m -> check_metrics file m
+                | None -> ())
             | _ -> (
                 check_cache file doc;
                 match J.member "metrics" doc with

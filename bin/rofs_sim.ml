@@ -123,9 +123,52 @@ let run_sweep ~config ~jobs ~seeds ~policy ~json ~metrics_file ~trace_file spec
                 ])))
     sink
 
+(* --replay mode: drive a trace (text or binary, sniffed) through the
+   full stack configured by the ordinary CLI flags; --record writes the
+   replay back out as executed (the normalization fixed point). *)
+let run_replay ~config ~workload ~policy ~json ~metrics_file ~replay_file ~record_file spec =
+  match C.Trace_codec.load_file replay_file with
+  | Error msg ->
+      Printf.eprintf "rofs_sim: %s: %s\n" replay_file msg;
+      exit 2
+  | Ok trace ->
+      let ch = if json then stderr else stdout in
+      let instrumented = json || metrics_file <> "" in
+      let sink = if instrumented then Some (C.Sink.create ()) else None in
+      Printf.fprintf ch "replay: %s (%d files, %d events) seed=%d scheduler=%s\n%!"
+        trace.C.Trace.name
+        (List.length trace.C.Trace.initial)
+        (C.Trace.event_count trace) config.C.Engine.seed
+        (C.Sched_policy.name config.C.Engine.scheduler);
+      let o =
+        C.Trace_replay.run ~config ~workload ?sink ~record:(record_file <> "") spec trace
+      in
+      let r = o.C.Trace_replay.report in
+      Printf.fprintf ch
+        "  replay       %.1f%% of max (%.2f MB/s, %d I/Os, %d alloc failures, %d stale \
+         skipped)\n"
+        r.C.Trace_replay.pct_of_max
+        (C.Report.mb_per_s r.C.Trace_replay.bytes_per_ms)
+        r.C.Trace_replay.io_ops r.C.Trace_replay.alloc_failures r.C.Trace_replay.skipped_stale;
+      Option.iter
+        (fun cr -> Printf.fprintf ch "  cache        %s\n" (C.Report.cache_to_string cr))
+        (C.Engine.cache_report o.C.Trace_replay.engine);
+      flush ch;
+      (match (o.C.Trace_replay.recorded, record_file) with
+      | Some t, f when f <> "" -> C.Trace_codec.save_file f t
+      | _ -> ());
+      Option.iter
+        (fun sink ->
+          if metrics_file <> "" then write_json_file metrics_file (C.Sink.to_json sink);
+          if json then
+            print_endline
+              (C.Obs.Json.to_string (C.Trace_replay.to_json ~metrics:sink o ~policy)))
+        sink
+
 let run policy sizes grow unclustered fit ranges block workload_name test seed seeds jobs
     readahead scheduler layout scale cache_mb cache_policy cache_write mttf mttr
-    media_error_rate rebuild_rate measure_ms json trace_file metrics_file =
+    media_error_rate rebuild_rate measure_ms json trace_file metrics_file replay_file
+    record_file =
   match C.Workload.by_name workload_name with
   | None ->
       Printf.eprintf "unknown workload %S (expected ts, tp or sc)\n" workload_name;
@@ -174,8 +217,17 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed s
         }
       in
       C.Engine.validate_config config;
-      if seeds <> [] then
+      if replay_file <> "" then begin
+        if seeds <> [] then
+          prerr_endline "rofs_sim: --seeds is ignored with --replay (one trace, one run)";
+        run_replay ~config ~workload ~policy ~json ~metrics_file ~replay_file ~record_file
+          spec
+      end
+      else if seeds <> [] then begin
+        if record_file <> "" then
+          prerr_endline "rofs_sim: --record is ignored with --seeds (traces do not merge)";
         run_sweep ~config ~jobs ~seeds ~policy ~json ~metrics_file ~trace_file spec workload
+      end
       else begin
         let ch = if json then stderr else stdout in
         let instrumented = json || metrics_file <> "" || trace_file <> "" in
@@ -183,6 +235,14 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed s
           if instrumented then Some (C.Sink.create ~trace:(trace_file <> "") ()) else None
         in
         Printf.fprintf ch "seed=%d scheduler=%s\n%!" seed (C.Sched_policy.name scheduler);
+        let recorder =
+          if record_file = "" then None
+          else if test = Alloc then begin
+            prerr_endline "rofs_sim: --record needs the throughput test; nothing recorded";
+            None
+          end
+          else Some (C.Trace_recorder.create ~name:workload.C.Workload.name)
+        in
         let alloc =
           if test = All || test = Alloc then
             Some (C.Experiment.run_allocation ~config spec workload)
@@ -193,10 +253,18 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed s
             (* Drive the engine directly (same protocol as
                Experiment.run_throughput) so the fault report and drive
                reports of the measured system are available afterwards. *)
-            let engine = C.Experiment.make_engine ~config spec workload in
+            let engine =
+              C.Experiment.make_engine
+                ?recorder:(Option.map C.Trace_recorder.hook recorder)
+                ~config spec workload
+            in
             Option.iter (C.Engine.attach_obs engine) sink;
             C.Engine.fill_to_lower_bound engine;
             let app = C.Engine.run_application_test engine in
+            (* The sequential test re-reads whole files; the recorded
+               trace covers initialization + fill + application test,
+               the window the replay bench verifies against. *)
+            C.Engine.set_recorder engine None;
             let seq = C.Engine.run_sequential_test engine in
             let faults_seen =
               if C.Fault_plan.enabled faults then Some (C.Engine.fault_report engine) else None
@@ -213,6 +281,12 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed s
           (C.Report.summary ?faults:fault_report ?cache:cache_report ?drives
              ~workload:workload.C.Workload.name ~policy ~alloc ~application ~sequential ());
         flush ch;
+        Option.iter
+          (fun r ->
+            C.Trace_codec.save_file record_file (C.Trace_recorder.trace r);
+            Printf.fprintf ch "recorded %d events to %s\n%!" (C.Trace_recorder.event_count r)
+              record_file)
+          recorder;
         Option.iter
           (fun sink ->
             if metrics_file <> "" then write_json_file metrics_file (C.Sink.to_json sink);
@@ -416,6 +490,27 @@ let metrics_arg =
         "Write the instrumentation sink (latency/seek/rotation/transfer histograms and \
          per-drive counters) as a JSON document to $(docv).")
 
+let replay_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "replay" ] ~docv:"FILE"
+      ~doc:
+        "Replay an operation trace (text or binary, sniffed by content) through the full \
+         stack — cache, per-drive scheduler, array and faults — instead of running the \
+         stochastic workload.  The usual flags configure the replayed system; \
+         $(b,--json) emits a rofs-replay-v1 document.")
+
+let record_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "record" ] ~docv:"FILE"
+      ~doc:
+        "Write the operations the run actually executed as a trace to $(docv) \
+         ($(b,.bin)/$(b,.rtb) extensions select the binary codec, anything else the text \
+         format).  With the stochastic driver this records initialization, fill and the \
+         application test; with $(b,--replay) it writes the trace back out as executed, \
+         a normalized copy that replays bit-identically.")
+
 let cmd =
   let doc = "simulate read-optimized file system allocation policies (Seltzer & Stonebraker 1991)" in
   Cmd.v
@@ -425,12 +520,13 @@ let cmd =
       $ block_arg $ workload_arg $ test_arg $ seed_arg $ seeds_arg $ jobs_arg $ readahead_arg
       $ scheduler_arg $ layout_arg $ scale_arg $ cache_mb_arg $ cache_policy_arg
       $ cache_write_arg $ mttf_arg $ mttr_arg $ media_error_rate_arg $ rebuild_rate_arg
-      $ measure_ms_arg $ json_arg $ trace_arg $ metrics_arg)
+      $ measure_ms_arg $ json_arg $ trace_arg $ metrics_arg $ replay_arg $ record_arg)
 
 let usage_hint =
   "usage: rofs_sim [--policy P] [-w ts|tp|sc] [--layout L] [--scheduler S] [--test T] \
    [--cache-mb N] [--cache-policy P] [--cache-write M] [--mttf MS] [--mttr MS] \
-   [--media-error-rate P] [--rebuild-rate B] -- see 'rofs_sim --help'"
+   [--media-error-rate P] [--rebuild-rate B] [--replay FILE] [--record FILE] -- see \
+   'rofs_sim --help'"
 
 (* Exit 2 with a one-line hint on bad input — a config mistake is the
    user's problem, not a crash: no OCaml backtrace, no multi-page

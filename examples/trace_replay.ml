@@ -3,10 +3,12 @@
    convincing argument" — made runnable.
 
    This example synthesizes a two-minute trace from the time-sharing
-   model, round-trips it through the on-disk trace format, and replays
+   model, round-trips it through both trace file formats (the
+   line-based text format and the compact binary codec), and replays
    the identical request stream against three allocation policies, so
    the comparison is free of stochastic noise between policies.  A
-   genuine trace in the same format could be dropped in unchanged. *)
+   genuine trace in either format — or imported from blktrace/SPC text
+   via [Core.Trace_import] — could be dropped in unchanged. *)
 
 module C = Core
 
@@ -17,35 +19,38 @@ let () =
     (C.Trace.duration_ms trace /. 1000.)
     trace.C.Trace.name;
 
-  (* Round-trip through the textual format, as a genuine trace would
-     arrive. *)
-  let path = Filename.temp_file "rofs" ".trace" in
-  let oc = open_out path in
-  output_string oc (C.Trace.save trace);
-  close_out oc;
-  let ic = open_in path in
-  let text = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  Sys.remove path;
+  (* Round-trip through both on-disk formats, as a genuine trace would
+     arrive.  [load_file] sniffs the magic, so either file would load
+     the same way. *)
+  let text_path = Filename.temp_file "rofs" ".trace" in
+  let bin_path = Filename.temp_file "rofs" ".bin" in
+  C.Trace_codec.save_file text_path trace;
+  C.Trace_codec.save_file bin_path trace;
+  let size p = (Unix.stat p).Unix.st_size in
+  Printf.printf "saved: %d KB as text, %d KB binary\n" (size text_path / 1024)
+    (size bin_path / 1024);
   let trace =
-    match C.Trace.load text with
+    match C.Trace_codec.load_file bin_path with
     | Ok t -> t
     | Error msg -> failwith ("trace round-trip failed: " ^ msg)
   in
+  Sys.remove text_path;
+  Sys.remove bin_path;
 
   let table =
     C.Table.create ~header:[ "policy"; "throughput"; "I/Os"; "alloc failures"; "internal frag" ]
   in
   List.iter
     (fun (name, spec) ->
-      let r = C.Trace_runner.run spec trace in
+      let o = C.Trace_replay.run spec trace in
+      let r = o.C.Trace_replay.report in
       C.Table.add_row table
         [
           name;
-          Printf.sprintf "%.1f%% of max" r.C.Trace_runner.pct_of_max;
-          string_of_int r.C.Trace_runner.io_ops;
-          string_of_int r.C.Trace_runner.alloc_failures;
-          Printf.sprintf "%.1f%%" (100. *. r.C.Trace_runner.internal_frag);
+          Printf.sprintf "%.1f%% of max" r.C.Trace_replay.pct_of_max;
+          string_of_int r.C.Trace_replay.io_ops;
+          string_of_int r.C.Trace_replay.alloc_failures;
+          Printf.sprintf "%.1f%%" (100. *. r.C.Trace_replay.internal_frag);
         ])
     [
       ( "restricted buddy",

@@ -113,7 +113,16 @@ module Trace = Rofs_workload.Trace
 module Volume = Rofs_sim.Volume
 module Engine = Rofs_sim.Engine
 module Report = Rofs_sim.Report
-module Trace_runner = Rofs_sim.Trace_runner
 module Experiment = Rofs_sim.Experiment
+
+(** {1 Trace replay} *)
+
+module Trace_codec = Rofs_trace_replay.Codec
+module Trace_import = Rofs_trace_replay.Import
+module Trace_recorder = Rofs_trace_replay.Recorder
+module Trace_replay = Rofs_trace_replay.Replay
+
+module Trace_runner = Rofs_trace_replay.Compat
+(** The retired thin runner's API, now backed by {!Trace_replay}. *)
 
 val version : string

@@ -147,18 +147,82 @@ type mode =
   | Full_mix  (** the application-performance test *)
   | Whole_file_rw  (** the sequential-performance test *)
 
-(* The event heap holds five event kinds: a user whose think time
+(* The event heap holds six event kinds: a user whose think time
    expired (perform its next operation); on the dispatch-queue path, a
    drive whose in-service request finishes at the event's time; the next
    scripted or drawn drive fail/repair from the fault plan; the next
-   background rebuild I/O of a resynchronising drive; and the buffer
-   cache's periodic dirty-page flush (write-back mode only). *)
-type event = Wake of user | Drive_done of int | Fault_tick | Rebuild_tick of int | Flush_tick
+   background rebuild I/O of a resynchronising drive; the buffer
+   cache's periodic dirty-page flush (write-back mode only); and, on a
+   replay engine, the arrival of the next trace event. *)
+type event =
+  | Wake of user
+  | Drive_done of int
+  | Fault_tick
+  | Rebuild_tick of int
+  | Flush_tick
+  | Replay_tick
 
 (* What a queued-path operation completion unblocks: a user's think
-   time, or the next chunk of a drive's rebuild sweep (not before
-   [next_ok], the pacing limit). *)
-type waiter = User_waiter of user | Rebuild_waiter of { drive : int; next_ok : float }
+   time, the next chunk of a drive's rebuild sweep (not before
+   [next_ok], the pacing limit), or the replay session's outstanding
+   counter. *)
+type waiter =
+  | User_waiter of user
+  | Rebuild_waiter of { drive : int; next_ok : float }
+  | Replay_waiter
+
+(* ------------------------------------------------------------------ *)
+(* Trace recording and replay surface                                  *)
+
+(* What the recorder sees: the operations the engine actually executed,
+   at the level where the stack below the drivers begins.  Uncached
+   reads and writes are post-window (the staged transfer, not the
+   logical burst the read-ahead window absorbed); cached ones are the
+   pre-cache logical operation, so replaying through an identical cache
+   reproduces its hit pattern exactly.  [R_grow] is allocation without
+   a transfer (initial population, fill-phase churn); [R_extend] is
+   grow-then-write.  Creates carry no size — growth always arrives as
+   separate [R_grow]/[R_extend] steps, preserving the interleaved
+   allocation order that shapes the layout. *)
+type recorded_op =
+  | R_read of { off : int; len : int }
+  | R_write of { off : int; len : int }
+  | R_extend of int
+  | R_grow of int
+  | R_truncate of int
+  | R_delete
+  | R_create of { hint : int; ty : int }
+
+type recorded = { rec_time_ms : float; rec_file : int; rec_op : recorded_op }
+
+(* One physical transfer a replay driver wants issued.  [rio_cached]
+   routes through the shared cache when one is configured (trace reads
+   and writes); extends bypass it, exactly as [do_extend] does. *)
+type replay_io = {
+  rio_kind : Array_model.kind;
+  rio_file : int;
+  rio_off : int;
+  rio_len : int;
+  rio_type_idx : int;
+  rio_cached : bool;
+}
+
+type replay_session = {
+  rs_next : unit -> (float * (unit -> replay_io list)) option;
+  mutable rs_pending : (unit -> replay_io list) option;
+  mutable rs_outstanding : int;  (** queued-path operations in flight *)
+  mutable rs_last_completion : float;
+}
+
+type replay_outcome = {
+  rp_pct_of_max : float;
+  rp_bytes_per_ms : float;
+  rp_bytes_moved : int;
+  rp_elapsed_ms : float;
+  rp_first_ms : float;
+  rp_last_ms : float;
+  rp_io_ops : int;
+}
 
 type t = {
   cfg : config;
@@ -194,6 +258,11 @@ type t = {
   mutable obs : Sink.t option;
       (** instrumentation sink; [None] (the default) means no recording
           and no extra allocation anywhere in the engine or the array *)
+  mutable recorder : (recorded -> unit) option;
+      (** trace recorder; [None] (the default) records nothing and, like
+          the sink, never changes simulated results *)
+  mutable replay : replay_session option;
+      (** the active replay session on a [create_replay] engine *)
 }
 
 type drive_report = {
@@ -266,6 +335,16 @@ let mark t ~kind ~drive =
         Sink.event sink
           { Trc.at_ms = t.now; dur_ms = 0.; kind; drive; op_id = -1; bytes = 0 }
 
+(* Trace-recording hook: a no-op unless a recorder is attached, so the
+   recorded engine's simulated results are untouched (no RNG draws, no
+   float arithmetic — the frozen goldens still pin the uncorded paths). *)
+let record t ~file op =
+  match t.recorder with
+  | None -> ()
+  | Some f -> f { rec_time_ms = t.now; rec_file = file; rec_op = op }
+
+let set_recorder t recorder = t.recorder <- recorder
+
 (* Phase 2 of initialization: create every file at a size drawn uniform
    on (initial mean +- deviation); allocation requests are issued until
    the allocated length covers it.  As many files grow concurrently as
@@ -283,6 +362,7 @@ let populate t =
         let file =
           Volume.create_file t.volume ~type_idx ~hint_bytes:ft.File_type.alloc_hint_bytes
         in
+        record t ~file (R_create { hint = ft.File_type.alloc_hint_bytes; ty = type_idx });
         let size = File_type.draw_initial_bytes ft t.rng in
         if size > 0 then Queue.add (ft, file, size) waiting
       done)
@@ -302,6 +382,7 @@ let populate t =
     let step =
       min remaining (max 1 (t.cfg.readahead_factor * File_type.draw_rw_bytes ft t.rng))
     in
+    record t ~file (R_grow step);
     match Volume.grow t.volume ~file ~bytes:step with
     | Ok () ->
         if remaining > step then Queue.add (ft, file, remaining - step) active else refill ()
@@ -359,7 +440,7 @@ let seed_events t =
       t.rebuild_live.(d) <- live)
     t.rebuild_live
 
-let create cfg ~policy ~workload =
+let make cfg ~policy ~workload ~with_users =
   validate_config cfg;
   Workload.validate workload;
   let array =
@@ -373,21 +454,23 @@ let create cfg ~policy ~workload =
   let types = Array.of_list workload.Workload.types in
   let rng = Rng.create ~seed:cfg.seed in
   let users =
-    Array.of_list
-      (List.concat
-         (List.mapi
-            (fun type_idx ft ->
-              List.init ft.File_type.users (fun _ ->
-                  {
-                    type_idx;
-                    ft;
-                    rng = Rng.split rng;
-                    file = -1;
-                    seq_offset = 0;
-                    read_ahead_until = 0;
-                    write_behind_until = 0;
-                  }))
-            workload.Workload.types))
+    if not with_users then [||]
+    else
+      Array.of_list
+        (List.concat
+           (List.mapi
+              (fun type_idx ft ->
+                List.init ft.File_type.users (fun _ ->
+                    {
+                      type_idx;
+                      ft;
+                      rng = Rng.split rng;
+                      file = -1;
+                      seq_offset = 0;
+                      read_ahead_until = 0;
+                      write_behind_until = 0;
+                    }))
+              workload.Workload.types))
   in
   let t =
     {
@@ -417,10 +500,27 @@ let create cfg ~policy ~workload =
       data_loss = 0;
       cache = Option.map (fun c -> Cache.create ~ntypes:(Array.length types) c) cfg.cache;
       obs = None;
+      recorder = None;
+      replay = None;
     }
   in
   (match t.fault_plan with Some plan -> t.pending_fault <- Fault_plan.pop plan | None -> ());
+  t
+
+let create ?recorder cfg ~policy ~workload =
+  let t = make cfg ~policy ~workload ~with_users:true in
+  t.recorder <- recorder;
   populate t;
+  seed_events t;
+  t
+
+(* A replay engine owns the same array / volume / cache / fault stack
+   but no stochastic users: the file population and every operation
+   come from the trace, fed through {!run_replay}.  [workload] supplies
+   only the file-type table (names for per-type cache counters, and the
+   type count sizing the volume). *)
+let create_replay cfg ~policy ~workload =
+  let t = make cfg ~policy ~workload ~with_users:false in
   seed_events t;
   t
 
@@ -602,6 +702,48 @@ let do_cached_io t cache ~type_idx ~kind ~file ~off ~len ~logical =
       end
       else do_io t ~kind ~file ~off ~len
 
+(* Replay driver entry point: issue one recorded transfer.  Cached
+   transfers route through the shared cache when one is configured —
+   matching what the source run did by construction, since recording
+   captures the pre-cache logical op on cached engines and the
+   post-window staged transfer on uncached ones. *)
+let replay_issue t rs (io : replay_io) =
+  let outcome =
+    match t.cache with
+    | Some cache when io.rio_cached ->
+        let logical = Volume.logical_bytes t.volume ~file:io.rio_file in
+        do_cached_io t cache ~type_idx:io.rio_type_idx ~kind:io.rio_kind ~file:io.rio_file
+          ~off:io.rio_off ~len:io.rio_len ~logical
+    | Some _ | None ->
+        do_io t ~kind:io.rio_kind ~file:io.rio_file ~off:io.rio_off ~len:io.rio_len
+  in
+  match outcome with
+  | Done finished -> rs.rs_last_completion <- Float.max rs.rs_last_completion finished
+  | Wait op ->
+      rs.rs_outstanding <- rs.rs_outstanding + 1;
+      Hashtbl.replace t.waiters (Array_model.op_id op) Replay_waiter
+
+(* Cache-coherence notifications for the replay driver, mirroring what
+   [do_truncate] and [do_delete] do on the stochastic path. *)
+let cache_note_truncate t ~file =
+  Option.iter
+    (fun cache -> Cache.truncate_file cache ~file ~logical:(Volume.logical_bytes t.volume ~file))
+    t.cache
+
+let cache_note_delete t ~file =
+  Option.iter (fun cache -> Cache.invalidate_file cache ~file) t.cache
+
+(* Recorded reads/writes: guard on the recorder before building the
+   variant so the disabled path allocates nothing. *)
+let record_rw t ~kind ~file ~off ~len =
+  match t.recorder with
+  | None -> ()
+  | Some _ ->
+      record t ~file
+        (match kind with
+        | Array_model.Read -> R_read { off; len }
+        | Array_model.Write -> R_write { off; len })
+
 let do_read_write t user ~kind ~whole =
   match pick_file t user with
   | None -> Done t.now
@@ -638,6 +780,7 @@ let do_read_write t user ~kind ~whole =
                per-file and the staged pages are visible to every
                user, with real eviction under memory pressure.
                Whole-file test transfers still always hit the disk. *)
+            record_rw t ~kind ~file ~off ~len;
             do_cached_io t cache ~type_idx:user.type_idx ~kind ~file ~off ~len ~logical
         | Some _ | None ->
         (* Read-ahead / write-behind: on a sequential scan, stage
@@ -660,10 +803,17 @@ let do_read_write t user ~kind ~whole =
             (match kind with
             | Array_model.Read -> user.read_ahead_until <- staged
             | Array_model.Write -> user.write_behind_until <- staged);
+            (* Record the staged transfer, not the logical burst: window
+               hits cost nothing and are not recorded, so the trace is
+               exactly what reached the stack below the windows. *)
+            record_rw t ~kind ~file ~off ~len:(staged - off);
             do_io t ~kind ~file ~off ~len:(staged - off)
           end
         end
-        else do_io t ~kind ~file ~off ~len
+        else begin
+          record_rw t ~kind ~file ~off ~len;
+          do_io t ~kind ~file ~off ~len
+        end
       end
 
 (* When metadata accounting is on, every extent the allocator creates
@@ -706,6 +856,9 @@ let do_extend t user ~with_io =
       let bytes = File_type.draw_rw_bytes user.ft user.rng in
       let old_logical = Volume.logical_bytes t.volume ~file in
       let extents_before = Volume.extent_count t.volume ~file in
+      (* Recorded before the attempt so a failed allocation replays as
+         the same failed attempt. *)
+      record t ~file (if with_io then R_extend bytes else R_grow bytes);
       (match Volume.grow t.volume ~file ~bytes with
       | Ok () ->
           if with_io then begin
@@ -723,6 +876,7 @@ let do_truncate t user =
   (match pick_file t user with
   | None -> ()
   | Some file ->
+      record t ~file (R_truncate user.ft.File_type.truncate_bytes);
       Volume.truncate t.volume ~file ~bytes:user.ft.File_type.truncate_bytes;
       (* Pages past the new end of file are stale; drop them. *)
       Option.iter
@@ -742,6 +896,7 @@ let do_delete t user =
   | None -> (Done t.now, false)
   | Some file ->
       let size = Volume.logical_bytes t.volume ~file in
+      record t ~file R_delete;
       Volume.delete t.volume ~file;
       (* Deleted data has nowhere to go: its dirty pages die with it. *)
       Option.iter (fun cache -> Cache.invalidate_file cache ~file) t.cache;
@@ -750,6 +905,9 @@ let do_delete t user =
         Volume.create_file t.volume ~type_idx:user.type_idx
           ~hint_bytes:user.ft.File_type.alloc_hint_bytes
       in
+      record t ~file:fresh
+        (R_create { hint = user.ft.File_type.alloc_hint_bytes; ty = user.type_idx });
+      record t ~file:fresh (R_grow size);
       (match Volume.grow t.volume ~file:fresh ~bytes:size with
       | Ok () -> (Done t.now, false)
       | Error `Disk_full ->
@@ -835,6 +993,35 @@ let apply_fault t = function
    [d]'s in-service request at its completion time, starts the drive's
    next queued request per the scheduler, and wakes the blocked user
    when the whole operation is done. *)
+(* Instrumentation for a queued-path operation that just completed with
+   a waiter attached (user or replay session). *)
+let observe_queued_completion t completion ~id ~finished =
+  match t.obs with
+  | None -> ()
+  | Some sink ->
+      let op = completion.Array_model.c_op in
+      let submitted = Array_model.op_submitted op in
+      let began = (Array_model.op_service op).Array_model.began in
+      let seek, rotation, transfer =
+        match Array_model.op_breakdown op with
+        | Some (s, r, x, _penalty) -> (s, r, x)
+        | None -> (0., 0., 0.)
+      in
+      Sink.record_op sink
+        ~latency:(finished -. submitted)
+        ~queue_wait:(began -. submitted)
+        ~seek ~rotation ~transfer;
+      if Sink.tracing sink then
+        Sink.event sink
+          {
+            Trc.at_ms = finished;
+            dur_ms = 0.;
+            kind = Trc.Completion;
+            drive = -1;
+            op_id = id;
+            bytes = Array_model.op_bytes op;
+          }
+
 let run_events t ~mode ~stop =
   let wake_after t (user : user) ~completion =
     let think = Dist.exponential user.rng ~mean:user.ft.File_type.process_time_ms in
@@ -871,32 +1058,16 @@ let run_events t ~mode ~stop =
            match Hashtbl.find_opt t.waiters id with
            | Some (User_waiter user) ->
                Hashtbl.remove t.waiters id;
-               (match t.obs with
-               | None -> ()
-               | Some sink ->
-                   let op = completion.Array_model.c_op in
-                   let submitted = Array_model.op_submitted op in
-                   let began = (Array_model.op_service op).Array_model.began in
-                   let seek, rotation, transfer =
-                     match Array_model.op_breakdown op with
-                     | Some (s, r, x, _penalty) -> (s, r, x)
-                     | None -> (0., 0., 0.)
-                   in
-                   Sink.record_op sink
-                     ~latency:(finished -. submitted)
-                     ~queue_wait:(began -. submitted)
-                     ~seek ~rotation ~transfer;
-                   if Sink.tracing sink then
-                     Sink.event sink
-                       {
-                         Trc.at_ms = finished;
-                         dur_ms = 0.;
-                         kind = Trc.Completion;
-                         drive = -1;
-                         op_id = id;
-                         bytes = Array_model.op_bytes op;
-                       });
+               observe_queued_completion t completion ~id ~finished;
                wake_after t user ~completion:finished
+           | Some Replay_waiter ->
+               Hashtbl.remove t.waiters id;
+               observe_queued_completion t completion ~id ~finished;
+               (match t.replay with
+               | Some rs ->
+                   rs.rs_outstanding <- rs.rs_outstanding - 1;
+                   rs.rs_last_completion <- Float.max rs.rs_last_completion finished
+               | None -> ())
            | Some (Rebuild_waiter { drive; next_ok }) ->
                Hashtbl.remove t.waiters id;
                Heap.push t.heap ~prio:(Float.max finished next_ok) (Rebuild_tick drive)
@@ -958,6 +1129,24 @@ let run_events t ~mode ~stop =
             Heap.push t.heap ~prio:(t.now +. Cache.flush_interval_ms cache) Flush_tick
         | None -> ());
         if not (stop ~failed:false) then loop ()
+    | Some (time, Replay_tick) ->
+        t.now <- Float.max t.now time;
+        (match t.replay with
+        | None -> ()
+        | Some rs -> (
+            match rs.rs_pending with
+            | None -> ()
+            | Some thunk ->
+                rs.rs_pending <- None;
+                List.iter (replay_issue t rs) (thunk ());
+                (* One arrival tick outstanding at a time, like the fault
+                   and flush chains. *)
+                (match rs.rs_next () with
+                | Some (at, next_thunk) ->
+                    rs.rs_pending <- Some next_thunk;
+                    Heap.push t.heap ~prio:(Float.max at t.now) Replay_tick
+                | None -> ())));
+        if not (stop ~failed:false) then loop ()
   in
   loop ()
 
@@ -1016,6 +1205,48 @@ let bytes_transferred_by t ~upto =
     t.in_flight;
   t.in_flight <- !still_pending;
   float_of_int t.bytes_completed +. !partial
+
+(* Drive a replay session to exhaustion.  [next] yields the arrival
+   time of the next trace event together with a thunk that executes its
+   semantics (volume mutation, cache notifications) and returns the
+   physical transfers to issue; the engine paces arrivals through the
+   heap so completions, queue waits, faults, rebuilds and cache flushes
+   interleave exactly as they do under the stochastic drivers.
+   Throughput is measured open-loop over [first arrival, last
+   completion] with the same single-credit accounting as
+   [run_measured]. *)
+let run_replay t ~next =
+  let rs =
+    { rs_next = next; rs_pending = None; rs_outstanding = 0; rs_last_completion = t.now }
+  in
+  t.replay <- Some rs;
+  t.bytes_completed <- 0;
+  t.in_flight <- [];
+  let io_at_start = t.io_ops in
+  let first = ref None in
+  (match next () with
+  | Some (at, thunk) ->
+      first := Some at;
+      rs.rs_pending <- Some thunk;
+      Heap.push t.heap ~prio:(Float.max at t.now) Replay_tick
+  | None -> ());
+  let stop ~failed:_ = rs.rs_pending = None && rs.rs_outstanding = 0 in
+  if not (stop ~failed:false) then run_events t ~mode:Full_mix ~stop;
+  t.replay <- None;
+  let first_ms = match !first with Some v -> v | None -> t.now in
+  let last_ms = Float.max rs.rs_last_completion first_ms in
+  let credited = bytes_transferred_by t ~upto:(Float.max last_ms t.now) in
+  let elapsed = Float.max (last_ms -. first_ms) 1. in
+  let rate = credited /. elapsed in
+  {
+    rp_pct_of_max = 100. *. rate /. max_bandwidth_pct_base t;
+    rp_bytes_per_ms = rate;
+    rp_bytes_moved = t.bytes_completed;
+    rp_elapsed_ms = elapsed;
+    rp_first_ms = first_ms;
+    rp_last_ms = last_ms;
+    rp_io_ops = t.io_ops - io_at_start;
+  }
 
 let run_measured t ~mode =
   let start = t.now in

@@ -172,11 +172,99 @@ type drive_report = {
 
 type t
 
-val create : config -> policy:Rofs_alloc.Policy.t -> workload:Rofs_workload.Workload.t -> t
+(** {1 Trace recording}
+
+    A recorder observes the operations the engine actually executes, at
+    the level where the stateless-per-op stack begins: uncached reads
+    and writes are recorded post-window (the staged transfer, not the
+    logical burst a read-ahead window absorbed — window hits are not
+    recorded at all), cached ones pre-cache (so replaying through an
+    identical cache reproduces its hit pattern).  [R_grow] is
+    allocation without a transfer — initial population and fill churn;
+    [R_extend] is grow-then-write.  Attaching a recorder never changes
+    simulated results: no RNG draws, no float arithmetic. *)
+
+type recorded_op =
+  | R_read of { off : int; len : int }
+  | R_write of { off : int; len : int }
+  | R_extend of int  (** bytes appended and written *)
+  | R_grow of int  (** bytes allocated, no transfer *)
+  | R_truncate of int
+  | R_delete
+  | R_create of { hint : int; ty : int }
+      (** created empty; growth arrives as separate [R_grow]/[R_extend]
+          steps, preserving the interleaved allocation order *)
+
+type recorded = { rec_time_ms : float; rec_file : int; rec_op : recorded_op }
+
+val create :
+  ?recorder:(recorded -> unit) ->
+  config ->
+  policy:Rofs_alloc.Policy.t ->
+  workload:Rofs_workload.Workload.t ->
+  t
 (** Builds the array, volume and user events, and runs the two-phase
     initialization: events get start times uniform on
     [0, users * hit_frequency]; files are created at their drawn initial
-    sizes.  Raises [Failure] if the initial population does not fit. *)
+    sizes.  Raises [Failure] if the initial population does not fit.
+    [recorder] is attached before the population is built, so the
+    resulting trace reproduces the initial layout too. *)
+
+val set_recorder : t -> (recorded -> unit) option -> unit
+(** Attach or detach the recorder mid-run (e.g. record the application
+    test only). *)
+
+(** {1 Trace replay}
+
+    A replay engine owns the same array / volume / cache / fault stack
+    but no stochastic users: the population and every operation come
+    from a trace, paced through the event heap, so completions, queue
+    waits, degraded reads and cache hits behave exactly as under the
+    stochastic drivers. *)
+
+(** One physical transfer a replay driver wants issued.  [rio_cached]
+    routes it through the shared cache when one is configured (trace
+    reads and writes); extend-writes bypass it, as [do_extend] does. *)
+type replay_io = {
+  rio_kind : Rofs_disk.Array_model.kind;
+  rio_file : int;  (** volume file id *)
+  rio_off : int;
+  rio_len : int;
+  rio_type_idx : int;
+  rio_cached : bool;
+}
+
+type replay_outcome = {
+  rp_pct_of_max : float;  (** credited bytes over [elapsed], % of max bandwidth *)
+  rp_bytes_per_ms : float;
+  rp_bytes_moved : int;
+  rp_elapsed_ms : float;  (** last completion - first arrival, >= 1 *)
+  rp_first_ms : float;
+  rp_last_ms : float;
+  rp_io_ops : int;
+}
+
+val create_replay :
+  config -> policy:Rofs_alloc.Policy.t -> workload:Rofs_workload.Workload.t -> t
+(** An engine with an empty volume and no users; [workload] supplies
+    only the file-type table (per-type cache counter names and the type
+    count sizing the volume). *)
+
+val run_replay : t -> next:(unit -> (float * (unit -> replay_io list)) option) -> replay_outcome
+(** Drive a replay to exhaustion.  [next] yields the next trace event's
+    arrival time and a thunk executing its semantics (volume mutation,
+    cache notifications) and returning the transfers to issue; arrivals
+    are paced open-loop through the event heap, one outstanding arrival
+    tick at a time.  Throughput uses the same single-credit accounting
+    as the measured tests: cache hits and window hits are never credited
+    twice. *)
+
+val cache_note_truncate : t -> file:int -> unit
+(** Drop cached pages past the (already truncated) end of [file] —
+    what the stochastic truncate path does. *)
+
+val cache_note_delete : t -> file:int -> unit
+(** Drop every cached page of a deleted [file]. *)
 
 val volume : t -> Volume.t
 val array_model : t -> Rofs_disk.Array_model.t

@@ -30,14 +30,14 @@ let build_policy spec ~total_units ~rng =
   | Fixed c -> Alloc.Fixed_block.create c ~total_units ~rng
   | Log_structured c -> Alloc.Log_structured.create c ~total_units
 
-let make_engine ?(config = Engine.default_config) spec workload =
+let make_engine ?recorder ?(config = Engine.default_config) spec workload =
   let unit_bytes = spec_unit_bytes spec in
   let total_units = capacity_units config ~unit_bytes in
   (* A seed distinct from the engine's keeps policy-internal draws
      (extent sizes, free-list aging) decoupled from event scheduling. *)
   let rng = Rofs_util.Rng.create ~seed:(config.Engine.seed + 0x5eed) in
   let policy = build_policy spec ~total_units ~rng in
-  Engine.create config ~policy ~workload
+  Engine.create ?recorder config ~policy ~workload
 
 let run_allocation ?config spec workload =
   let engine = make_engine ?config spec workload in

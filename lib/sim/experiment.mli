@@ -23,8 +23,13 @@ val build_policy :
   policy_spec -> total_units:int -> rng:Rofs_util.Rng.t -> Rofs_alloc.Policy.t
 
 val make_engine :
-  ?config:Engine.config -> policy_spec -> Rofs_workload.Workload.t -> Engine.t
-(** Build array + policy + engine and run initialization. *)
+  ?recorder:(Engine.recorded -> unit) ->
+  ?config:Engine.config ->
+  policy_spec ->
+  Rofs_workload.Workload.t ->
+  Engine.t
+(** Build array + policy + engine and run initialization; [recorder]
+    (attached before initialization) captures the run as a trace. *)
 
 val run_allocation :
   ?config:Engine.config -> policy_spec -> Rofs_workload.Workload.t -> Engine.alloc_report

@@ -40,6 +40,14 @@ val summary :
 (** Multi-line block with one labelled line per available report; with
     [drives], one utilization / queue-depth line per drive. *)
 
+val throughput_json : Engine.throughput_report -> Rofs_obs.Json.t
+val cache_json : Engine.cache_report -> Rofs_obs.Json.t
+val fault_json : Engine.fault_report -> Rofs_obs.Json.t
+val drive_json : Engine.drive_report -> Rofs_obs.Json.t
+(** The per-report JSON encoders behind {!to_json}, exposed so other
+    document schemas (the trace-replay report) can embed the same
+    members byte-compatibly. *)
+
 val to_json :
   ?alloc:Engine.alloc_report ->
   ?application:Engine.throughput_report ->

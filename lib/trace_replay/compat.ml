@@ -1,0 +1,22 @@
+type report = {
+  pct_of_max : float;
+  bytes_moved : int;
+  elapsed_ms : float;
+  io_ops : int;
+  alloc_failures : int;
+  internal_frag : float;
+  utilization : float;
+}
+
+let run ?config spec trace =
+  let o = Replay.run ?config spec trace in
+  let r = o.Replay.report in
+  {
+    pct_of_max = r.Replay.pct_of_max;
+    bytes_moved = r.Replay.bytes_moved;
+    elapsed_ms = r.Replay.elapsed_ms;
+    io_ops = r.Replay.io_ops;
+    alloc_failures = r.Replay.alloc_failures;
+    internal_frag = r.Replay.internal_frag;
+    utilization = r.Replay.utilization;
+  }

@@ -1,0 +1,24 @@
+(** The retired [Trace_runner]'s API, backed by the full-stack replay.
+
+    Same report shape and [run] signature as the old thin runner
+    (PR 1), so existing callers keep compiling; results differ — for
+    the better — because replay now goes through the cache, scheduler
+    and fault layers, write-past-EOF grows the file instead of
+    clipping, and throughput uses the engine's single-credit
+    accounting.  New code should use {!Replay} directly. *)
+
+type report = {
+  pct_of_max : float;
+  bytes_moved : int;
+  elapsed_ms : float;
+  io_ops : int;
+  alloc_failures : int;
+  internal_frag : float;
+  utilization : float;
+}
+
+val run :
+  ?config:Rofs_sim.Engine.config ->
+  Rofs_sim.Experiment.policy_spec ->
+  Rofs_workload.Trace.t ->
+  report

@@ -1,0 +1,33 @@
+module Engine = Rofs_sim.Engine
+module Trace = Rofs_workload.Trace
+
+type t = {
+  name : string;
+  mutable initial : (int * int * int * int) list;  (** reversed *)
+  mutable events : Trace.event list;  (** reversed *)
+  mutable nevents : int;
+}
+
+let create ~name = { name; initial = []; events = []; nevents = 0 }
+let event_count t = t.nevents
+
+let hook t (r : Engine.recorded) =
+  let emit op =
+    t.events <- { Trace.time_ms = r.Engine.rec_time_ms; file = r.Engine.rec_file; op } :: t.events;
+    t.nevents <- t.nevents + 1
+  in
+  match r.Engine.rec_op with
+  | Engine.R_create { hint; ty } ->
+      (* Before any other record we are still in the population phase:
+         the engine creates every initial file first. *)
+      if t.nevents = 0 then t.initial <- (r.Engine.rec_file, 0, hint, ty) :: t.initial
+      else emit (Trace.Create { bytes = 0; hint; ty })
+  | Engine.R_read { off; len } -> emit (Trace.Read { off; bytes = len })
+  | Engine.R_write { off; len } -> emit (Trace.Write { off; bytes = len })
+  | Engine.R_extend n -> emit (Trace.Extend n)
+  | Engine.R_grow n -> emit (Trace.Grow n)
+  | Engine.R_truncate n -> emit (Trace.Truncate n)
+  | Engine.R_delete -> emit Trace.Delete
+
+let trace t =
+  { Trace.name = t.name; initial = List.rev t.initial; events = List.rev t.events }

@@ -1,0 +1,26 @@
+(** Capture a live engine run as a trace.
+
+    Pass {!hook} to {!Rofs_sim.Engine.create} (or
+    {!Rofs_sim.Experiment.make_engine}) via [?recorder]; every operation
+    the engine executes is appended, and {!trace} assembles the result.
+
+    The initial population is recovered structurally: the engine
+    creates every file before growing any of them, so creates that
+    arrive before the first non-create record become [initial] entries
+    (at zero bytes — their growth follows as ordinary [Grow] events,
+    preserving the interleaved allocation order that shapes the
+    layout).  Creates after that point — delete-and-recreate churn —
+    become [Create] events. *)
+
+type t
+
+val create : name:string -> t
+
+val hook : t -> Rofs_sim.Engine.recorded -> unit
+(** Append one engine record; O(1). *)
+
+val event_count : t -> int
+
+val trace : t -> Rofs_workload.Trace.t
+(** Assemble the trace recorded so far (cheap; reverses the internal
+    lists). *)

@@ -1,0 +1,243 @@
+module Engine = Rofs_sim.Engine
+module Experiment = Rofs_sim.Experiment
+module Volume = Rofs_sim.Volume
+module Report = Rofs_sim.Report
+module Trace = Rofs_workload.Trace
+module Workload = Rofs_workload.Workload
+module Array_model = Rofs_disk.Array_model
+module Json = Rofs_obs.Json
+module Sink = Rofs_obs.Sink
+
+type report = {
+  trace_name : string;
+  workload_name : string;
+  trace_files : int;
+  trace_events : int;
+  events_applied : int;
+  skipped_stale : int;
+  pct_of_max : float;
+  bytes_per_ms : float;
+  bytes_moved : int;
+  elapsed_ms : float;
+  io_ops : int;
+  alloc_failures : int;
+  internal_frag : float;
+  utilization : float;
+}
+
+type outcome = {
+  report : report;
+  engine : Engine.t;
+  recorded : Trace.t option;
+}
+
+let run ?(config = Engine.default_config) ?(workload = Workload.ts) ?sink ?(record = false)
+    spec trace =
+  (match Trace.validate trace with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Trace_replay.run: " ^ msg));
+  let unit_bytes = Experiment.spec_unit_bytes spec in
+  let total_units = Experiment.capacity_units config ~unit_bytes in
+  (* The same seed offset Experiment.make_engine uses: replaying a run
+     recorded at this seed rebuilds the identical allocator layout, so
+     record->replay verification extends to physical timing, not just
+     logical counters. *)
+  let rng = Rofs_util.Rng.create ~seed:(config.Engine.seed + 0x5eed) in
+  let policy = Experiment.build_policy spec ~total_units ~rng in
+  let engine = Engine.create_replay config ~policy ~workload in
+  Option.iter (Engine.attach_obs engine) sink;
+  let volume = Engine.volume engine in
+  let ntypes = List.length workload.Workload.types in
+  let clamp_ty ty = if ty < 0 then 0 else min ty (ntypes - 1) in
+  (* Trace file ids -> (volume file id, type index). *)
+  let ids : (int, int * int) Hashtbl.t = Hashtbl.create 1024 in
+  let alloc_failures = ref 0 in
+  let applied = ref 0 in
+  let stale = ref 0 in
+  let recorded_events = ref [] in
+  let grow vid bytes =
+    if bytes > 0 then
+      match Volume.grow volume ~file:vid ~bytes with
+      | Ok () -> ()
+      | Error `Disk_full -> incr alloc_failures
+  in
+  let create tid bytes hint ty =
+    let type_idx = clamp_ty ty in
+    let vid = Volume.create_file volume ~type_idx ~hint_bytes:hint in
+    Hashtbl.replace ids tid (vid, type_idx);
+    grow vid bytes;
+    (vid, type_idx)
+  in
+  List.iter
+    (fun (tid, bytes, hint, ty) -> ignore (create tid bytes hint ty : int * int))
+    trace.Trace.initial;
+  (* Execute one event's semantics; returns the transfers to issue.
+     Reads clip to the logical length; writes past end of file grow
+     first (the trace says the data exists — a genuine trace must not
+     silently shrink), then clip to whatever the allocator provided. *)
+  let apply (e : Trace.event) =
+    let keep op =
+      if record then
+        recorded_events :=
+          { Trace.time_ms = e.Trace.time_ms; file = e.Trace.file; op } :: !recorded_events
+    in
+    match e.Trace.op with
+    | Trace.Create { bytes; hint; ty } ->
+        incr applied;
+        keep e.Trace.op;
+        ignore (create e.Trace.file bytes hint ty : int * int);
+        []
+    | op -> begin
+        match Hashtbl.find_opt ids e.Trace.file with
+        | None ->
+            incr stale;
+            []
+        | Some (vid, type_idx) -> begin
+            incr applied;
+            keep op;
+            let transfer ~kind ~cached ~off ~len =
+              if len > 0 then
+                [
+                  {
+                    Engine.rio_kind = kind;
+                    rio_file = vid;
+                    rio_off = off;
+                    rio_len = len;
+                    rio_type_idx = type_idx;
+                    rio_cached = cached;
+                  };
+                ]
+              else []
+            in
+            match op with
+            | Trace.Read { off; bytes } ->
+                let logical = Volume.logical_bytes volume ~file:vid in
+                if off >= logical then []
+                else
+                  transfer ~kind:Array_model.Read ~cached:true ~off
+                    ~len:(min bytes (logical - off))
+            | Trace.Write { off; bytes } ->
+                let logical = Volume.logical_bytes volume ~file:vid in
+                if off + bytes > logical then grow vid (off + bytes - logical);
+                let logical = Volume.logical_bytes volume ~file:vid in
+                if off >= logical then []
+                else
+                  transfer ~kind:Array_model.Write ~cached:true ~off
+                    ~len:(min bytes (logical - off))
+            | Trace.Extend bytes -> begin
+                let old_logical = Volume.logical_bytes volume ~file:vid in
+                match Volume.grow volume ~file:vid ~bytes with
+                | Ok () ->
+                    (* Fresh allocation bypasses the cache, as the
+                       stochastic extend path does. *)
+                    transfer ~kind:Array_model.Write ~cached:false ~off:old_logical
+                      ~len:bytes
+                | Error `Disk_full ->
+                    incr alloc_failures;
+                    []
+              end
+            | Trace.Grow bytes ->
+                grow vid bytes;
+                []
+            | Trace.Truncate bytes ->
+                Volume.truncate volume ~file:vid ~bytes;
+                Engine.cache_note_truncate engine ~file:vid;
+                []
+            | Trace.Delete ->
+                Volume.delete volume ~file:vid;
+                Engine.cache_note_delete engine ~file:vid;
+                Hashtbl.remove ids e.Trace.file;
+                []
+            | Trace.Create _ -> assert false
+          end
+      end
+  in
+  let remaining = ref trace.Trace.events in
+  let next () =
+    match !remaining with
+    | [] -> None
+    | e :: rest ->
+        remaining := rest;
+        Some (e.Trace.time_ms, fun () -> apply e)
+  in
+  let rp = Engine.run_replay engine ~next in
+  let report =
+    {
+      trace_name = trace.Trace.name;
+      workload_name = workload.Workload.name;
+      trace_files = List.length trace.Trace.initial;
+      trace_events = List.length trace.Trace.events;
+      events_applied = !applied;
+      skipped_stale = !stale;
+      pct_of_max = rp.Engine.rp_pct_of_max;
+      bytes_per_ms = rp.Engine.rp_bytes_per_ms;
+      bytes_moved = rp.Engine.rp_bytes_moved;
+      elapsed_ms = rp.Engine.rp_elapsed_ms;
+      io_ops = rp.Engine.rp_io_ops;
+      alloc_failures = !alloc_failures;
+      internal_frag = Volume.internal_fragmentation volume;
+      utilization = Volume.utilization volume;
+    }
+  in
+  let recorded =
+    if record then
+      Some
+        {
+          Trace.name = trace.Trace.name;
+          initial = trace.Trace.initial;
+          events = List.rev !recorded_events;
+        }
+    else None
+  in
+  { report; engine; recorded }
+
+let record_run ?config ?name ?sink spec workload =
+  let name = match name with Some n -> n | None -> workload.Workload.name in
+  let recorder = Recorder.create ~name in
+  let engine = Experiment.make_engine ~recorder:(Recorder.hook recorder) ?config spec workload in
+  Option.iter (Engine.attach_obs engine) sink;
+  Engine.fill_to_lower_bound engine;
+  let application = Engine.run_application_test engine in
+  (* Stop recording before anything else touches the engine. *)
+  Engine.set_recorder engine None;
+  (Recorder.trace recorder, application, engine)
+
+let to_json ?metrics o ~policy =
+  let r = o.report in
+  let opt name enc v = Option.to_list (Option.map (fun x -> (name, enc x)) v) in
+  Json.Obj
+    ([
+       ("schema", Json.Str "rofs-replay-v1");
+       ("policy", Json.Str policy);
+       ("workload", Json.Str r.workload_name);
+       ( "trace",
+         Json.Obj
+           [
+             ("name", Json.Str r.trace_name);
+             ("files", Json.Int r.trace_files);
+             ("events", Json.Int r.trace_events);
+             ("applied", Json.Int r.events_applied);
+             ("skipped_stale", Json.Int r.skipped_stale);
+           ] );
+       ( "replay",
+         Json.Obj
+           [
+             ("pct_of_max", Json.Float r.pct_of_max);
+             ("bytes_per_ms", Json.Float r.bytes_per_ms);
+             ("mb_per_s", Json.Float (Report.mb_per_s r.bytes_per_ms));
+             ("bytes_moved", Json.Int r.bytes_moved);
+             ("elapsed_ms", Json.Float r.elapsed_ms);
+             ("io_ops", Json.Int r.io_ops);
+             ("alloc_failures", Json.Int r.alloc_failures);
+             ("internal_frag", Json.Float r.internal_frag);
+             ("utilization", Json.Float r.utilization);
+           ] );
+     ]
+    @ opt "cache" Report.cache_json (Engine.cache_report o.engine)
+    @ [ ("faults", Report.fault_json (Engine.fault_report o.engine)) ]
+    @ [
+        ( "drives",
+          Json.Arr
+            (Array.to_list (Array.map Report.drive_json (Engine.drive_reports o.engine))) );
+      ]
+    @ opt "metrics" Sink.to_json metrics)

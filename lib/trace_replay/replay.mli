@@ -1,0 +1,76 @@
+(** Full-stack trace replay.
+
+    Unlike the retired thin runner — which timed each transfer against
+    the bare array model — replay drives trace events through the
+    engine's event heap, so the shared buffer cache, per-drive
+    scheduler queues, fault injection and instrumentation all behave
+    exactly as they do under the stochastic drivers.  Arrivals are
+    open-loop: each event is applied at its trace time (or as soon as
+    the simulation clock reaches it), and throughput is credited with
+    the engine's single-credit accounting over [first arrival .. last
+    completion]. *)
+
+type report = {
+  trace_name : string;
+  workload_name : string;  (** the file-type table used (per-type counters) *)
+  trace_files : int;  (** initial population size *)
+  trace_events : int;
+  events_applied : int;
+  skipped_stale : int;  (** events referencing unknown file ids *)
+  pct_of_max : float;
+  bytes_per_ms : float;
+  bytes_moved : int;
+  elapsed_ms : float;
+  io_ops : int;
+  alloc_failures : int;  (** [`Disk_full] growth attempts during replay *)
+  internal_frag : float;
+  utilization : float;
+}
+
+type outcome = {
+  report : report;
+  engine : Rofs_sim.Engine.t;
+      (** inspect cache / fault / drive reports, or the attached sink *)
+  recorded : Rofs_workload.Trace.t option;
+      (** with [~record:true]: the trace as executed — source events
+          minus stale ones, times and ids verbatim.  Replaying it
+          reproduces the replay's own report bit-for-bit (the
+          normalization fixed point the CI smoke checks). *)
+}
+
+val run :
+  ?config:Rofs_sim.Engine.config ->
+  ?workload:Rofs_workload.Workload.t ->
+  ?sink:Rofs_obs.Sink.t ->
+  ?record:bool ->
+  Rofs_sim.Experiment.policy_spec ->
+  Rofs_workload.Trace.t ->
+  outcome
+(** Replay [trace] against a fresh policy/engine.  [workload] (default
+    {!Rofs_workload.Workload.ts}) supplies only the file-type table;
+    trace type indices beyond it are clamped to its last type.
+    Semantics per event: reads clip to the file's logical length;
+    writes past end of file grow the file first (a failed grow counts
+    as an allocation failure and the write clips to what exists);
+    extends grow-then-write; [Grow] allocates without a transfer;
+    deletes and creates remap ids.  Raises [Invalid_argument] if the
+    trace fails {!Rofs_workload.Trace.validate}. *)
+
+val record_run :
+  ?config:Rofs_sim.Engine.config ->
+  ?name:string ->
+  ?sink:Rofs_obs.Sink.t ->
+  Rofs_sim.Experiment.policy_spec ->
+  Rofs_workload.Workload.t ->
+  Rofs_workload.Trace.t * Rofs_sim.Engine.throughput_report * Rofs_sim.Engine.t
+(** Run the stochastic fill + application test with a recorder attached
+    (initialization included) and return the captured trace alongside
+    the source run's application report and engine — the
+    record-then-replay verification entry point. *)
+
+val to_json :
+  ?metrics:Rofs_obs.Sink.t -> outcome -> policy:string -> Rofs_obs.Json.t
+(** The ["rofs-replay-v1"] document: trace provenance and replay
+    results, plus the engine's cache / fault / drive members (same
+    encoders as ["rofs-report-v1"]) and the sink's histograms under
+    [metrics]. *)

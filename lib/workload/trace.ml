@@ -6,13 +6,16 @@ type op =
   | Read of { off : int; bytes : int }
   | Write of { off : int; bytes : int }
   | Extend of int
+  | Grow of int
   | Truncate of int
   | Delete
-  | Create of { bytes : int; hint : int }
+  | Create of { bytes : int; hint : int; ty : int }
 
 type event = { time_ms : float; file : int; op : op }
 
-type t = { name : string; initial : (int * int * int) list; events : event list }
+type t = { name : string; initial : (int * int * int * int) list; events : event list }
+
+type warnings = { stale_refs : int }
 
 let event_count t = List.length t.events
 
@@ -21,8 +24,12 @@ let duration_ms t =
 
 let validate t =
   let check_size what n = if n < 0 then Error (what ^ ": negative size") else Ok () in
+  (* Ids the trace has introduced so far; events referencing anything
+     else are stale (legal to skip at replay, but worth surfacing). *)
+  let known : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let stale = ref 0 in
   let rec events last = function
-    | [] -> Ok ()
+    | [] -> Ok { stale_refs = !stale }
     | e :: rest ->
         if e.time_ms < last then Error "events out of time order"
         else if e.file < 0 then Error "negative file id"
@@ -32,18 +39,34 @@ let validate t =
             | Read { off; bytes } | Write { off; bytes } ->
                 if off < 0 then Error "negative offset" else check_size "read/write" bytes
             | Extend n -> check_size "extend" n
+            | Grow n -> check_size "grow" n
             | Truncate n -> check_size "truncate" n
             | Delete -> Ok ()
-            | Create { bytes; hint } ->
-                if hint <= 0 then Error "create: non-positive hint" else check_size "create" bytes
+            | Create { bytes; hint; ty } ->
+                if hint <= 0 then Error "create: non-positive hint"
+                else if ty < 0 then Error "create: negative type"
+                else check_size "create" bytes
           in
-          match sized with Error _ as err -> err | Ok () -> events e.time_ms rest
+          match sized with
+          | Error _ as err -> err
+          | Ok () ->
+              (match e.op with
+              | Create _ -> Hashtbl.replace known e.file ()
+              | Delete ->
+                  if Hashtbl.mem known e.file then Hashtbl.remove known e.file else incr stale
+              | Read _ | Write _ | Extend _ | Grow _ | Truncate _ ->
+                  if not (Hashtbl.mem known e.file) then incr stale);
+              events e.time_ms rest
         end
   in
   let rec initial = function
     | [] -> events 0. t.events
-    | (id, bytes, hint) :: rest ->
-        if id < 0 || bytes < 0 || hint <= 0 then Error "bad initial file" else initial rest
+    | (id, bytes, hint, ty) :: rest ->
+        if id < 0 || bytes < 0 || hint <= 0 || ty < 0 then Error "bad initial file"
+        else begin
+          Hashtbl.replace known id ();
+          initial rest
+        end
   in
   initial t.initial
 
@@ -75,7 +98,7 @@ let synthesize ~workload ~duration_ms ~seed =
         incr next_id;
         let bytes = File_type.draw_initial_bytes ft rng in
         Hashtbl.replace sizes id bytes;
-        initial := (id, bytes, ft.File_type.alloc_hint_bytes) :: !initial;
+        initial := (id, bytes, ft.File_type.alloc_hint_bytes, type_idx) :: !initial;
         live.(type_idx) := id :: !(live.(type_idx))
       done)
     types;
@@ -156,7 +179,9 @@ let synthesize ~workload ~duration_ms ~seed =
                 incr next_id;
                 Hashtbl.replace sizes fresh size;
                 !by_type.(u.type_idx).(slot) <- fresh;
-                emit time fresh (Create { bytes = size; hint = u.ft.File_type.alloc_hint_bytes })
+                emit time fresh
+                  (Create
+                     { bytes = size; hint = u.ft.File_type.alloc_hint_bytes; ty = u.type_idx })
           end);
         let think = Dist.exponential u.rng ~mean:u.ft.File_type.process_time_ms in
         Heap.push heap ~prio:(time +. think) u;
@@ -174,15 +199,17 @@ let op_to_string = function
   | Read { off; bytes } -> Printf.sprintf "read %d %d" bytes off
   | Write { off; bytes } -> Printf.sprintf "write %d %d" bytes off
   | Extend n -> Printf.sprintf "extend %d -" n
+  | Grow n -> Printf.sprintf "grow %d -" n
   | Truncate n -> Printf.sprintf "truncate %d -" n
   | Delete -> "delete 0 -"
-  | Create { bytes; hint } -> Printf.sprintf "create %d %d" bytes hint
+  | Create { bytes; hint; ty } -> Printf.sprintf "create %d %d %d" bytes hint ty
 
 let save t =
   let buffer = Buffer.create 4096 in
-  Buffer.add_string buffer (Printf.sprintf "# rofs-trace v1 %s\n" t.name);
+  Buffer.add_string buffer (Printf.sprintf "# rofs-trace v2 %s\n" t.name);
   List.iter
-    (fun (id, bytes, hint) -> Buffer.add_string buffer (Printf.sprintf "file %d %d %d\n" id bytes hint))
+    (fun (id, bytes, hint, ty) ->
+      Buffer.add_string buffer (Printf.sprintf "file %d %d %d %d\n" id bytes hint ty))
     t.initial;
   List.iter
     (fun e ->
@@ -193,39 +220,47 @@ let save t =
 
 let load text =
   let lines = String.split_on_char '\n' text in
-  let parse_op kind a b =
-    match kind with
-    | "read" -> Ok (Read { bytes = a; off = b })
-    | "write" -> Ok (Write { bytes = a; off = b })
-    | "extend" -> Ok (Extend a)
-    | "truncate" -> Ok (Truncate a)
-    | "delete" -> Ok Delete
-    | "create" -> Ok (Create { bytes = a; hint = b })
-    | other -> Error (Printf.sprintf "unknown op %S" other)
+  let int_args args = List.map int_of_string_opt args in
+  let parse_op kind args =
+    match (kind, int_args args) with
+    | "read", [ Some bytes; Some off ] -> Ok (Read { bytes; off })
+    | "write", [ Some bytes; Some off ] -> Ok (Write { bytes; off })
+    | "extend", Some n :: _ -> Ok (Extend n)
+    | "grow", Some n :: _ -> Ok (Grow n)
+    | "truncate", Some n :: _ -> Ok (Truncate n)
+    | "delete", _ -> Ok Delete
+    (* v1 create lines carry no type; default to type 0. *)
+    | "create", [ Some bytes; Some hint ] -> Ok (Create { bytes; hint; ty = 0 })
+    | "create", [ Some bytes; Some hint; Some ty ] -> Ok (Create { bytes; hint; ty })
+    | ("read" | "write" | "extend" | "grow" | "truncate" | "create"), _ ->
+        Error (Printf.sprintf "malformed %s arguments" kind)
+    | other, _ -> Error (Printf.sprintf "unknown op %S" other)
   in
   let rec go lineno name initial events = function
     | [] -> begin
         let t = { name; initial = List.rev initial; events = List.rev events } in
-        match validate t with Ok () -> Ok t | Error e -> Error e
+        match validate t with Ok _ -> Ok t | Error e -> Error e
       end
     | line :: rest -> begin
         let fail msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
         match String.split_on_char ' ' (String.trim line) with
         | [ "" ] -> go (lineno + 1) name initial events rest
-        | "#" :: "rofs-trace" :: "v1" :: name_parts ->
+        | "#" :: "rofs-trace" :: ("v1" | "v2") :: name_parts ->
             go (lineno + 1) (String.concat " " name_parts) initial events rest
         | "#" :: _ -> go (lineno + 1) name initial events rest
-        | [ "file"; id; bytes; hint ] -> begin
-            match (int_of_string_opt id, int_of_string_opt bytes, int_of_string_opt hint) with
-            | Some id, Some bytes, Some hint ->
-                go (lineno + 1) name ((id, bytes, hint) :: initial) events rest
+        (* v1 file lines carry no type; default to type 0. *)
+        | "file" :: ([ _; _; _ ] | [ _; _; _; _ ]) as fields -> begin
+            match int_args (List.tl fields) with
+            | [ Some id; Some bytes; Some hint ] ->
+                go (lineno + 1) name ((id, bytes, hint, 0) :: initial) events rest
+            | [ Some id; Some bytes; Some hint; Some ty ] ->
+                go (lineno + 1) name ((id, bytes, hint, ty) :: initial) events rest
             | _ -> fail "malformed file line"
           end
-        | [ "ev"; time; file; kind; a; b ] -> begin
-            match (float_of_string_opt time, int_of_string_opt file, int_of_string_opt a) with
-            | Some time_ms, Some file, Some a -> begin
-                let b = match int_of_string_opt b with Some v -> v | None -> 0 in
-                match parse_op kind a b with
+        | "ev" :: time :: file :: kind :: args -> begin
+            match (float_of_string_opt time, int_of_string_opt file) with
+            | Some time_ms, Some file -> begin
+                match parse_op kind args with
                 | Ok op -> go (lineno + 1) name initial ({ time_ms; file; op } :: events) rest
                 | Error msg -> fail msg
               end

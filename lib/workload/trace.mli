@@ -12,30 +12,48 @@
     and diff-friendly:
 
     {v
-    # rofs-trace v1 <name>
-    file <id> <bytes> <hint-bytes>
-    ev <time-ms> <read|write|extend|truncate|delete|create> <file-id> <bytes> <offset|- >
-    v} *)
+    # rofs-trace v2 <name>
+    file <id> <bytes> <hint-bytes> <type>
+    ev <time-ms> <file-id> <read|write|extend|grow|truncate|delete|create> <args...>
+    v}
+
+    [read]/[write] take [<bytes> <offset>]; [extend]/[grow]/[truncate]
+    take [<bytes> -]; [create] takes [<bytes> <hint> <type>].  v1 files
+    (no per-file type, six-token [create] lines) still load, with every
+    file assigned type 0.  A compact binary encoding of the same data
+    lives in [Rofs_trace_replay.Codec]. *)
 
 type op =
   | Read of { off : int; bytes : int }
   | Write of { off : int; bytes : int }
-  | Extend of int  (** bytes appended *)
+  | Extend of int  (** bytes appended (and written) *)
+  | Grow of int
+      (** bytes allocated without any disk transfer — how recorded
+          runs express initialization and fill-phase allocation churn *)
   | Truncate of int  (** bytes removed from the end *)
   | Delete
-  | Create of { bytes : int; hint : int }
-      (** (re)create this file id at the given size *)
+  | Create of { bytes : int; hint : int; ty : int }
+      (** (re)create this file id at the given size and file type *)
 
 type event = { time_ms : float; file : int; op : op }
 
 type t = {
   name : string;
-  initial : (int * int * int) list;  (** (file id, bytes, allocation hint) *)
+  initial : (int * int * int * int) list;
+      (** (file id, bytes, allocation hint, file type) *)
   events : event list;  (** non-decreasing [time_ms] *)
 }
 
-val validate : t -> (unit, string) result
-(** Check time ordering, id sanity and non-negative sizes. *)
+type warnings = { stale_refs : int }
+(** Non-fatal validation findings: [stale_refs] counts events that
+    reference a file id never introduced by [initial] or a prior
+    [Create] (or already deleted).  Such operations are legal — a
+    replay skips them — but a genuine trace full of them usually means
+    the importer dropped its creates. *)
+
+val validate : t -> (warnings, string) result
+(** Check time ordering, id sanity and non-negative sizes; on success
+    report the stale-reference count. *)
 
 val synthesize :
   workload:Workload.t -> duration_ms:float -> seed:int -> t
@@ -48,8 +66,8 @@ val save : t -> string
 (** Serialize to the textual format above. *)
 
 val load : string -> (t, string) result
-(** Parse the textual format; returns a descriptive error with the
-    offending line number on failure. *)
+(** Parse the textual format (v1 or v2); returns a descriptive error
+    with the offending line number on failure. *)
 
 val event_count : t -> int
 val duration_ms : t -> float

@@ -230,7 +230,7 @@ let test_trace_synthesize_basic () =
   let t = Trace.synthesize ~workload:small_workload ~duration_ms:5_000. ~seed:1 in
   check_int "initial population" 20 (List.length t.Trace.initial);
   check_bool "has events" true (Trace.event_count t > 50);
-  check_bool "validates" true (Trace.validate t = Ok ());
+  check_bool "validates" true (Trace.validate t = Ok { Trace.stale_refs = 0 });
   check_bool "bounded duration" true (Trace.duration_ms t <= 5_000.)
 
 let test_trace_synthesize_deterministic () =
@@ -259,10 +259,36 @@ let test_trace_load_rejects_garbage () =
   | Ok _ -> Alcotest.fail "expected time-order error"
 
 let test_trace_validate_rules () =
-  let bad_initial = { Trace.name = "x"; initial = [ (0, -5, 4096) ]; events = [] } in
-  check_bool "bad initial" true (Trace.validate bad_initial <> Ok ());
-  let ok = { Trace.name = "x"; initial = [ (0, 5, 4096) ]; events = [] } in
-  check_bool "empty events fine" true (Trace.validate ok = Ok ())
+  let bad_initial = { Trace.name = "x"; initial = [ (0, -5, 4096, 0) ]; events = [] } in
+  check_bool "bad initial" true (Result.is_error (Trace.validate bad_initial));
+  let ok = { Trace.name = "x"; initial = [ (0, 5, 4096, 0) ]; events = [] } in
+  check_bool "empty events fine" true (Trace.validate ok = Ok { Trace.stale_refs = 0 })
+
+let test_trace_validate_counts_stale_refs () =
+  let ev time_ms file op = { Trace.time_ms; file; op } in
+  let t =
+    {
+      Trace.name = "stale";
+      initial = [ (0, 4096, 4096, 0) ];
+      events =
+        [
+          ev 1. 0 (Trace.Read { off = 0; bytes = 512 });
+          (* id 7 was never introduced: read, write and delete are stale *)
+          ev 2. 7 (Trace.Read { off = 0; bytes = 512 });
+          ev 3. 7 (Trace.Write { off = 0; bytes = 512 });
+          ev 4. 7 Trace.Delete;
+          (* a create makes the id known from then on *)
+          ev 5. 7 (Trace.Create { bytes = 512; hint = 4096; ty = 0 });
+          ev 6. 7 (Trace.Extend 512);
+          (* deleting id 0 makes later references stale again *)
+          ev 7. 0 Trace.Delete;
+          ev 8. 0 (Trace.Grow 512);
+        ];
+    }
+  in
+  match Trace.validate t with
+  | Error msg -> Alcotest.fail msg
+  | Ok w -> check_int "stale refs counted" 4 w.Trace.stale_refs
 
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
@@ -300,5 +326,6 @@ let () =
           quick "save/load roundtrip" test_trace_roundtrip;
           quick "load rejects garbage" test_trace_load_rejects_garbage;
           quick "validation rules" test_trace_validate_rules;
+          quick "stale references counted" test_trace_validate_counts_stale_refs;
         ] );
     ]
