@@ -123,6 +123,62 @@ let run_sweep ~config ~jobs ~seeds ~policy ~json ~metrics_file ~trace_file spec
                 ])))
     sink
 
+(* --shards mode: one throughput run decomposed into
+   config.shard_slices independent slices (disks and workload
+   partitioned deterministically) executed on a domain pool and merged
+   in fixed slice order.  The merged report is byte-identical at every
+   shard count — Engine.run_sharded's contract, pinned by
+   test/test_speed.ml — so --shards only changes the wall clock; the
+   CI speed-smoke job cmps the --json output across shard counts. *)
+let run_sharded_cli ~config ~shards ~policy ~test ~json ~metrics_file ~trace_file
+    ~record_file spec (workload : C.Workload.t) =
+  let ch = if json then stderr else stdout in
+  if record_file <> "" then
+    prerr_endline "rofs_sim: --record is ignored with --shards (sharded runs record no trace)";
+  let instrumented = json || metrics_file <> "" || trace_file <> "" in
+  Printf.fprintf ch "sharded: slices=%d shards=%d scheduler=%s\n%!"
+    config.C.Engine.shard_slices shards
+    (C.Sched_policy.name config.C.Engine.scheduler);
+  let alloc =
+    if test = All || test = Alloc then Some (C.Experiment.run_allocation ~config spec workload)
+    else None
+  in
+  let sharded =
+    if test = All || test = Throughput then
+      Some
+        (C.Experiment.run_sharded ~config ~shards ~instrument:instrumented
+           ~trace:(trace_file <> "") spec workload)
+    else None
+  in
+  let application = Option.map (fun (r : C.Engine.sharded_report) -> r.C.Engine.s_application) sharded in
+  let sequential = Option.map (fun (r : C.Engine.sharded_report) -> r.C.Engine.s_sequential) sharded in
+  let fault_report =
+    if C.Fault_plan.enabled config.C.Engine.faults then
+      Option.map (fun (r : C.Engine.sharded_report) -> r.C.Engine.s_fault) sharded
+    else None
+  in
+  let cache_report = Option.bind sharded (fun r -> r.C.Engine.s_cache) in
+  let sink =
+    match sharded with
+    | Some { C.Engine.s_sink = Some s; _ } -> Some s
+    | _ -> if instrumented then Some (C.Sink.create ()) else None
+  in
+  output_string ch
+    (C.Report.summary ?faults:fault_report ?cache:cache_report
+       ~workload:workload.C.Workload.name ~policy ~alloc ~application ~sequential ());
+  flush ch;
+  Option.iter
+    (fun sink ->
+      if metrics_file <> "" then write_json_file metrics_file (C.Sink.to_json sink);
+      if trace_file <> "" then write_trace_file trace_file sink;
+      if json then
+        print_endline
+          (C.Obs.Json.to_string
+             (C.Report.to_json ?alloc ?application ?sequential ?faults:fault_report
+                ?cache:cache_report ~metrics:sink ~workload:workload.C.Workload.name
+                ~policy ())))
+    sink
+
 (* --replay mode: drive a trace (text or binary, sniffed) through the
    full stack configured by the ordinary CLI flags; --record writes the
    replay back out as executed (the normalization fixed point). *)
@@ -166,7 +222,7 @@ let run_replay ~config ~workload ~policy ~json ~metrics_file ~replay_file ~recor
         sink
 
 let run policy sizes grow unclustered fit ranges block workload_name test seed seeds jobs
-    readahead scheduler layout scale cache_mb cache_policy cache_write mttf mttr
+    shards readahead scheduler layout scale cache_mb cache_policy cache_write mttf mttr
     media_error_rate rebuild_rate measure_ms json trace_file metrics_file replay_file
     record_file =
   match C.Workload.by_name workload_name with
@@ -216,19 +272,32 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed s
           max_measure_ms = measure_ms;
         }
       in
-      C.Engine.validate_config config;
+      C.Engine.validate_config ?shards config;
       if replay_file <> "" then begin
         if seeds <> [] then
           prerr_endline "rofs_sim: --seeds is ignored with --replay (one trace, one run)";
+        if shards <> None then
+          prerr_endline
+            "rofs_sim: --shards is ignored with --replay (a trace replays as one serial \
+             timeline)";
         run_replay ~config ~workload ~policy ~json ~metrics_file ~replay_file ~record_file
           spec
       end
       else if seeds <> [] then begin
         if record_file <> "" then
           prerr_endline "rofs_sim: --record is ignored with --seeds (traces do not merge)";
+        if shards <> None then
+          prerr_endline
+            "rofs_sim: --shards is ignored with --seeds (per-seed cells already run on \
+             --jobs domains)";
         run_sweep ~config ~jobs ~seeds ~policy ~json ~metrics_file ~trace_file spec workload
       end
-      else begin
+      else
+        match shards with
+        | Some shards ->
+            run_sharded_cli ~config ~shards ~policy ~test ~json ~metrics_file ~trace_file
+              ~record_file spec workload
+        | None -> begin
         let ch = if json then stderr else stdout in
         let instrumented = json || metrics_file <> "" || trace_file <> "" in
         let sink =
@@ -359,6 +428,19 @@ let jobs_arg =
     & info [ "j"; "jobs" ]
       ~doc:
         "Number of worker domains for $(b,--seeds) sweeps (default: ROFS_JOBS, or 1).")
+
+let shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"N"
+      ~doc:
+        "Run the throughput test sharded: the system is decomposed into a fixed number \
+         of independent slices (disks and workload partitioned deterministically; see \
+         shard_slices in the engine config) executed on $(docv) worker domains and \
+         merged in fixed order.  The report is byte-identical at every shard count, so \
+         $(docv) changes only the wall clock.  Ignored with $(b,--seeds) and \
+         $(b,--replay).")
 
 let readahead_arg =
   Arg.(value & opt int 4 & info [ "readahead" ] ~doc:"Read-ahead factor for sequential scans.")
@@ -517,16 +599,16 @@ let cmd =
     (Cmd.info "rofs_sim" ~version:C.version ~doc)
     Term.(
       const run $ policy_arg $ sizes_arg $ grow_arg $ unclustered_arg $ fit_arg $ ranges_arg
-      $ block_arg $ workload_arg $ test_arg $ seed_arg $ seeds_arg $ jobs_arg $ readahead_arg
-      $ scheduler_arg $ layout_arg $ scale_arg $ cache_mb_arg $ cache_policy_arg
+      $ block_arg $ workload_arg $ test_arg $ seed_arg $ seeds_arg $ jobs_arg $ shards_arg
+      $ readahead_arg $ scheduler_arg $ layout_arg $ scale_arg $ cache_mb_arg $ cache_policy_arg
       $ cache_write_arg $ mttf_arg $ mttr_arg $ media_error_rate_arg $ rebuild_rate_arg
       $ measure_ms_arg $ json_arg $ trace_arg $ metrics_arg $ replay_arg $ record_arg)
 
 let usage_hint =
   "usage: rofs_sim [--policy P] [-w ts|tp|sc] [--layout L] [--scheduler S] [--test T] \
-   [--cache-mb N] [--cache-policy P] [--cache-write M] [--mttf MS] [--mttr MS] \
-   [--media-error-rate P] [--rebuild-rate B] [--replay FILE] [--record FILE] -- see \
-   'rofs_sim --help'"
+   [--shards N] [--cache-mb N] [--cache-policy P] [--cache-write M] [--mttf MS] \
+   [--mttr MS] [--media-error-rate P] [--rebuild-rate B] [--replay FILE] [--record FILE] \
+   -- see 'rofs_sim --help'"
 
 (* Exit 2 with a one-line hint on bad input — a config mistake is the
    user's problem, not a crash: no OCaml backtrace, no multi-page

@@ -60,12 +60,42 @@ type t = {
   mutable next_op_id : int;
   fault : Fault.t;  (** drive health, media-error and dirty-region state *)
   media_on : bool;  (** media faults configured: consult [fault] per chunk *)
+  all_drives : int list;  (** [0; ...; disks-1], the reconstruction group *)
   mutable obs : Sink.t option;  (** instrumentation sink; [None] ⇒ no recording *)
   ob_scratch : float array;
       (** sync-path accounting, live only while a sink is attached.
           Slots 0-3: the current operation's seek / rotation / transfer /
           fault-penalty totals; slots 4-6: the component totals of the
           drive being issued to, read before the access. *)
+  (* Chunk scratch buffer: the physical chunks of the operation being
+     mapped, struct-of-arrays so that mapping an extent allocates
+     nothing.  Chunks are appended in generation order — the order the
+     old list-based mapper produced — and the whole operation is
+     generated before any chunk is issued, so degraded-mode decisions
+     (mirror arm choice, [Fault.Data_loss]) observe pre-operation drive
+     state exactly as before. *)
+  mutable cb_disk : int array;
+  mutable cb_offset : int array;
+  mutable cb_bytes : int array;
+  mutable cb_parity : bool array;
+  mutable cb_rmw : bool array;
+  mutable cb_len : int;
+  (* Results of the last synchronous [perform_buf]. *)
+  mutable pc_began : float;
+  mutable pc_finish : float;
+  (* Dispatch scratch buffer: the requests started by the last
+     [submit_flat] / [complete_flat], in dispatch order. *)
+  mutable db_drive : int array;
+  mutable db_op_id : int array;
+  mutable db_started : float array;
+  mutable db_finished : float array;
+  mutable db_bytes : int array;
+  mutable db_parity : bool array;
+  mutable db_len : int;
+  (* First-touch-ordered drives of the operation being submitted. *)
+  touched_mark : bool array;
+  touched : int array;
+  mutable touched_len : int;
 }
 
 let create_mixed ?(seed = 0) ?(scheduler = Sched_policy.Fcfs) ?(faults = Fault_plan.none)
@@ -102,8 +132,27 @@ let create_mixed ?(seed = 0) ?(scheduler = Sched_policy.Fcfs) ?(faults = Fault_p
     next_op_id = 0;
     fault = Fault.create faults ~drives:disks;
     media_on = Fault_plan.media_faults faults;
+    all_drives = List.init disks Fun.id;
     obs = None;
     ob_scratch = Array.make 7 0.;
+    cb_disk = Array.make 64 0;
+    cb_offset = Array.make 64 0;
+    cb_bytes = Array.make 64 0;
+    cb_parity = Array.make 64 false;
+    cb_rmw = Array.make 64 false;
+    cb_len = 0;
+    pc_began = 0.;
+    pc_finish = 0.;
+    db_drive = Array.make 16 0;
+    db_op_id = Array.make 16 0;
+    db_started = Array.make 16 0.;
+    db_finished = Array.make 16 0.;
+    db_bytes = Array.make 16 0;
+    db_parity = Array.make 16 false;
+    db_len = 0;
+    touched_mark = Array.make disks false;
+    touched = Array.make disks 0;
+    touched_len = 0;
   }
 
 let create ?(geometry = Geometry.cdc_wren_iv) ?seed ?scheduler ?faults ~disks config =
@@ -148,26 +197,47 @@ let max_bandwidth_bytes_per_ms t =
   in
   float_of_int effective *. per_drive
 
-(* A physical chunk: [bytes] at [offset] of drive [disk].  [parity]
-   chunks carry redundancy traffic and are excluded from the data-byte
-   accounting.  [rmw] chunks pay a read-modify-write (two passes). *)
-type chunk = { disk : int; offset : int; bytes : int; parity : bool; rmw : bool }
+(* ------------------------------------------------------------------ *)
+(* Chunk generation into the scratch buffer                            *)
 
-let data_chunk disk offset bytes = { disk; offset; bytes; parity = false; rmw = false }
+let cb_grow t need =
+  let cap = Array.length t.cb_disk in
+  if need > cap then begin
+    let cap' = max need (2 * cap) in
+    let grow_i a = let a' = Array.make cap' 0 in Array.blit a 0 a' 0 t.cb_len; a' in
+    let grow_b a = let a' = Array.make cap' false in Array.blit a 0 a' 0 t.cb_len; a' in
+    t.cb_disk <- grow_i t.cb_disk;
+    t.cb_offset <- grow_i t.cb_offset;
+    t.cb_bytes <- grow_i t.cb_bytes;
+    t.cb_parity <- grow_b t.cb_parity;
+    t.cb_rmw <- grow_b t.cb_rmw
+  end
 
-(* Split a logical extent at [stripe]-unit boundaries and map each unit
-   through [place : unit_index -> within -> bytes -> chunk list]. *)
-let map_striped ~stripe ~place (addr, len) =
-  let rec go addr len acc =
-    if len <= 0 then List.rev acc
-    else begin
+let cb_push t ~disk ~offset ~bytes ~parity ~rmw =
+  cb_grow t (t.cb_len + 1);
+  let i = t.cb_len in
+  t.cb_disk.(i) <- disk;
+  t.cb_offset.(i) <- offset;
+  t.cb_bytes.(i) <- bytes;
+  t.cb_parity.(i) <- parity;
+  t.cb_rmw.(i) <- rmw;
+  t.cb_len <- i + 1
+
+let cb_push_data t ~disk ~offset ~bytes = cb_push t ~disk ~offset ~bytes ~parity:false ~rmw:false
+
+(* Split a logical extent at [stripe]-unit boundaries and feed each unit
+   through [place : unit_index -> within -> bytes -> unit], which
+   appends that unit's chunks. *)
+let iter_striped ~stripe ~place (addr, len) =
+  let rec go addr len =
+    if len > 0 then begin
       let within = addr mod stripe in
       let take = min len (stripe - within) in
-      let chunks = place (addr / stripe) within take in
-      go (addr + take) (len - take) (List.rev_append chunks acc)
+      place (addr / stripe) within take;
+      go (addr + take) (len - take)
     end
   in
-  go addr len []
+  go addr len
 
 (* Queued + in-service depth of one drive's dispatch queue. *)
 let load t d =
@@ -181,24 +251,27 @@ let load t d =
    group cannot cover the loss. *)
 let reconstruct_chunks t ~dead ~members ~offset ~take =
   Fault.note_reconstructed_read t.fault;
-  let surviving =
-    List.filter_map
-      (fun d ->
-        if d = dead then None
-        else if Fault.readable t.fault ~drive:d ~offset ~bytes:take then
-          Some { disk = d; offset; bytes = take; parity = true; rmw = false }
-        else raise (Fault.Data_loss { drive = dead; offset; bytes = take }))
-      members
-  in
-  match surviving with
-  | first :: rest -> { first with parity = false } :: rest
-  | [] -> raise (Fault.Data_loss { drive = dead; offset; bytes = take })
+  let first = ref true in
+  List.iter
+    (fun d ->
+      if d <> dead then begin
+        if Fault.readable t.fault ~drive:d ~offset ~bytes:take then begin
+          cb_push t ~disk:d ~offset ~bytes:take ~parity:(not !first) ~rmw:false;
+          first := false
+        end
+        else raise (Fault.Data_loss { drive = dead; offset; bytes = take })
+      end)
+    members;
+  if !first then raise (Fault.Data_loss { drive = dead; offset; bytes = take })
 
-let chunks_of_extent ?(queued = false) t ~kind (addr, len) =
+(* Map one logical extent onto physical chunks, appended to the chunk
+   buffer in generation order.  May raise [Fault.Data_loss] mid-append;
+   callers reset [cb_len] per operation, so a partially generated
+   operation is simply abandoned (nothing has been issued yet). *)
+let gen_extent ?(queued = false) t ~kind (addr, len) =
   if len < 0 || addr < 0 || addr + len > capacity_bytes t then
     invalid_arg "Array_model: extent outside the array";
   let n = disks t in
-  let all_drives = List.init n Fun.id in
   match t.config with
   | Striped { stripe_unit } ->
       let place idx within take =
@@ -212,9 +285,9 @@ let chunks_of_extent ?(queued = false) t ~kind (addr, len) =
           | Write -> not (Fault.writable t.fault ~drive:disk)
         in
         if lost then raise (Fault.Data_loss { drive = disk; offset; bytes = take });
-        [ data_chunk disk offset take ]
+        cb_push_data t ~disk ~offset ~bytes:take
       in
-      map_striped ~stripe:stripe_unit ~place (addr, len)
+      iter_striped ~stripe:stripe_unit ~place (addr, len)
   | Mirrored { stripe_unit } ->
       let pairs = n / 2 in
       let place idx within take =
@@ -245,26 +318,25 @@ let chunks_of_extent ?(queued = false) t ~kind (addr, len) =
               end
               else raise (Fault.Data_loss { drive = primary; offset; bytes = take })
             in
-            [ data_chunk disk offset take ]
+            cb_push_data t ~disk ~offset ~bytes:take
         | Write ->
             let pok = Fault.writable t.fault ~drive:primary in
             let sok = Fault.writable t.fault ~drive:secondary in
-            if pok && sok then
-              [
-                data_chunk primary offset take;
-                { disk = secondary; offset; bytes = take; parity = true; rmw = false };
-              ]
+            if pok && sok then begin
+              cb_push_data t ~disk:primary ~offset ~bytes:take;
+              cb_push t ~disk:secondary ~offset ~bytes:take ~parity:true ~rmw:false
+            end
             else if pok || sok then begin
               (* Degraded write: skip the dead arm and remember what it
                  missed; the rebuild sweep will restore it. *)
               Fault.note_degraded_write t.fault;
               let dead = if pok then secondary else primary in
               Fault.log_dirty t.fault ~drive:dead ~offset ~bytes:take;
-              [ data_chunk (if pok then primary else secondary) offset take ]
+              cb_push_data t ~disk:(if pok then primary else secondary) ~offset ~bytes:take
             end
             else raise (Fault.Data_loss { drive = primary; offset; bytes = take })
       in
-      map_striped ~stripe:stripe_unit ~place (addr, len)
+      iter_striped ~stripe:stripe_unit ~place (addr, len)
   | Raid5 { stripe_unit } ->
       let data_per_row = n - 1 in
       let place idx within take =
@@ -276,79 +348,81 @@ let chunks_of_extent ?(queued = false) t ~kind (addr, len) =
         match kind with
         | Read ->
             if Fault.readable t.fault ~drive:disk ~offset ~bytes:take then
-              [ data_chunk disk offset take ]
+              cb_push_data t ~disk ~offset ~bytes:take
             else
               (* Degraded read: XOR of the row's surviving units. *)
-              reconstruct_chunks t ~dead:disk ~members:all_drives ~offset ~take
+              reconstruct_chunks t ~dead:disk ~members:t.all_drives ~offset ~take
         | Write ->
             let dok = Fault.writable t.fault ~drive:disk in
             let pok = Fault.writable t.fault ~drive:parity_disk in
-            if dok && pok then
+            if dok && pok then begin
               (* Small-write penalty: read-modify-write of the data unit
                  and of the row's parity unit. *)
-              [
-                { disk; offset; bytes = take; parity = false; rmw = true };
-                { disk = parity_disk; offset; bytes = take; parity = true; rmw = true };
-              ]
+              cb_push t ~disk ~offset ~bytes:take ~parity:false ~rmw:true;
+              cb_push t ~disk:parity_disk ~offset ~bytes:take ~parity:true ~rmw:true
+            end
             else if pok then begin
               (* Dead data arm: keep the row's parity current so the data
                  is recoverable, and log the dirty region. *)
               Fault.note_degraded_write t.fault;
               Fault.log_dirty t.fault ~drive:disk ~offset ~bytes:take;
-              [ { disk = parity_disk; offset; bytes = take; parity = true; rmw = true } ]
+              cb_push t ~disk:parity_disk ~offset ~bytes:take ~parity:true ~rmw:true
             end
             else if dok then begin
               (* Dead parity arm: plain write, nothing to read-modify. *)
               Fault.note_degraded_write t.fault;
               Fault.log_dirty t.fault ~drive:parity_disk ~offset ~bytes:take;
-              [ { disk; offset; bytes = take; parity = false; rmw = false } ]
+              cb_push t ~disk ~offset ~bytes:take ~parity:false ~rmw:false
             end
             else raise (Fault.Data_loss { drive = disk; offset; bytes = take })
       in
-      map_striped ~stripe:stripe_unit ~place (addr, len)
+      iter_striped ~stripe:stripe_unit ~place (addr, len)
   | Parity_striped ->
       let per_drive = parity_striped_data_per_drive t in
       let parity_base = per_drive in
       let parity_span = drive_capacity t - per_drive in
-      let rec go addr len acc =
-        if len <= 0 then List.rev acc
-        else begin
+      let rec go addr len =
+        if len > 0 then begin
           let disk = addr / per_drive in
           let within = addr mod per_drive in
           let take = min len (per_drive - within) in
-          let data = data_chunk disk within take in
-          let chunks =
-            match kind with
-            | Read ->
-                if Fault.readable t.fault ~drive:disk ~offset:within ~bytes:take then [ data ]
-                else
-                  reconstruct_chunks t ~dead:disk ~members:all_drives ~offset:within ~take
-            | Write ->
-                (* Parity for drive d's data lives in the parity region
-                   of drive d+1 (mod N), scaled down N-1 : 1. *)
-                let pdisk = (disk + 1) mod n in
-                let poff = parity_base + (within mod parity_span) in
-                let pbytes = min take (drive_capacity t - poff) in
-                let dok = Fault.writable t.fault ~drive:disk in
-                let pok = Fault.writable t.fault ~drive:pdisk in
-                if dok && pok then
-                  [ data; { disk = pdisk; offset = poff; bytes = pbytes; parity = true; rmw = true } ]
-                else if pok then begin
-                  Fault.note_degraded_write t.fault;
-                  Fault.log_dirty t.fault ~drive:disk ~offset:within ~bytes:take;
-                  [ { disk = pdisk; offset = poff; bytes = pbytes; parity = true; rmw = true } ]
-                end
-                else if dok then begin
-                  Fault.note_degraded_write t.fault;
-                  Fault.log_dirty t.fault ~drive:pdisk ~offset:poff ~bytes:pbytes;
-                  [ data ]
-                end
-                else raise (Fault.Data_loss { drive = disk; offset = within; bytes = take })
-          in
-          go (addr + take) (len - take) (List.rev_append chunks acc)
+          (match kind with
+          | Read ->
+              if Fault.readable t.fault ~drive:disk ~offset:within ~bytes:take then
+                cb_push_data t ~disk ~offset:within ~bytes:take
+              else
+                reconstruct_chunks t ~dead:disk ~members:t.all_drives ~offset:within ~take
+          | Write ->
+              (* Parity for drive d's data lives in the parity region
+                 of drive d+1 (mod N), scaled down N-1 : 1. *)
+              let pdisk = (disk + 1) mod n in
+              let poff = parity_base + (within mod parity_span) in
+              let pbytes = min take (drive_capacity t - poff) in
+              let dok = Fault.writable t.fault ~drive:disk in
+              let pok = Fault.writable t.fault ~drive:pdisk in
+              if dok && pok then begin
+                cb_push_data t ~disk ~offset:within ~bytes:take;
+                cb_push t ~disk:pdisk ~offset:poff ~bytes:pbytes ~parity:true ~rmw:true
+              end
+              else if pok then begin
+                Fault.note_degraded_write t.fault;
+                Fault.log_dirty t.fault ~drive:disk ~offset:within ~bytes:take;
+                cb_push t ~disk:pdisk ~offset:poff ~bytes:pbytes ~parity:true ~rmw:true
+              end
+              else if dok then begin
+                Fault.note_degraded_write t.fault;
+                Fault.log_dirty t.fault ~drive:pdisk ~offset:poff ~bytes:pbytes;
+                cb_push_data t ~disk ~offset:within ~bytes:take
+              end
+              else raise (Fault.Data_loss { drive = disk; offset = within; bytes = take }));
+          go (addr + take) (len - take)
         end
       in
-      go addr len []
+      go addr len
+
+let gen_extents ?queued t ~kind extents =
+  t.cb_len <- 0;
+  List.iter (fun e -> gen_extent ?queued t ~kind e) extents
 
 type service = { began : float; finished : float }
 
@@ -367,18 +441,18 @@ let media_stall t ~disk ~offset ~bytes ~default =
     Drive.stall drive ~ms:extra
   end
 
-let perform_chunks t ~now chunks =
-  (* Issue chunks drive by drive in arrival order; each drive's queue
-     (its busy clock) serialises them, distinct drives overlap.  [began]
-     is the moment the first chunk starts moving — after any queueing
-     behind earlier operations.
+let perform_buf t ~now =
+  (* Issue the buffered chunks drive by drive in generation order; each
+     drive's queue (its busy clock) serialises them, distinct drives
+     overlap.  [pc_began] is the moment the first chunk starts moving —
+     after any queueing behind earlier operations.
 
      Instrumentation contract: every recording is guarded on [t.obs],
      and the guarded reads feed fixed scratch slots, so the un-observed
      path performs the same work (and the same RNG draws) as before a
      sink existed — byte-identical results either way. *)
-  let finish = ref now in
-  let began = ref infinity in
+  t.pc_finish <- now;
+  t.pc_began <- infinity;
   (match t.obs with
   | None -> ()
   | Some _ ->
@@ -387,10 +461,13 @@ let perform_chunks t ~now chunks =
       s.(1) <- 0.;
       s.(2) <- 0.;
       s.(3) <- 0.);
-  let issue c =
-    let drive = t.drives.(c.disk) in
+  for i = 0 to t.cb_len - 1 do
+    let disk = t.cb_disk.(i) in
+    let offset = t.cb_offset.(i) in
+    let bytes = t.cb_bytes.(i) in
+    let drive = t.drives.(disk) in
     let start = Float.max now (Drive.busy_until drive) in
-    if start < !began then began := start;
+    if start < t.pc_began then t.pc_began <- start;
     (match t.obs with
     | None -> ()
     | Some _ ->
@@ -398,13 +475,11 @@ let perform_chunks t ~now chunks =
         s.(4) <- Drive.seek_ms_total drive;
         s.(5) <- Drive.rotation_ms_total drive;
         s.(6) <- Drive.transfer_ms_total drive);
-    let passes = if c.rmw then 2 else 1 in
-    let done_at = ref start in
-    for _ = 1 to passes do
-      done_at := Drive.access drive ~now ~rng:t.rng ~offset:c.offset ~bytes:c.bytes
-    done;
-    let served = !done_at in
-    let done_at = media_stall t ~disk:c.disk ~offset:c.offset ~bytes:c.bytes ~default:served in
+    let served =
+      let once = Drive.access drive ~now ~rng:t.rng ~offset ~bytes in
+      if t.cb_rmw.(i) then Drive.access drive ~now ~rng:t.rng ~offset ~bytes else once
+    in
+    let done_at = media_stall t ~disk ~offset ~bytes ~default:served in
     (match t.obs with
     | None -> ()
     | Some sink ->
@@ -418,16 +493,16 @@ let perform_chunks t ~now chunks =
           Sink.record_fault_penalty sink extra
         end;
         let dist = Drive.last_seek_cylinders drive in
-        if dist > 0 then Sink.record_seek sink ~drive:c.disk ~cylinders:dist;
+        if dist > 0 then Sink.record_seek sink ~drive:disk ~cylinders:dist;
         if Sink.tracing sink then begin
           Sink.event sink
             {
               Tr.at_ms = start;
               dur_ms = done_at -. start;
               kind = Tr.Dispatch;
-              drive = c.disk;
+              drive = disk;
               op_id = -1;
-              bytes = c.bytes;
+              bytes;
             };
           if extra > 0. then
             Sink.event sink
@@ -435,26 +510,34 @@ let perform_chunks t ~now chunks =
                 Tr.at_ms = served;
                 dur_ms = extra;
                 kind = Tr.Media;
-                drive = c.disk;
+                drive = disk;
                 op_id = -1;
                 bytes = 0;
               }
         end);
-    if done_at > !finish then finish := done_at;
-    if not c.parity then t.bytes_moved <- t.bytes_moved + c.bytes
-  in
-  List.iter issue chunks;
-  { began = (if !began = infinity then now else !began); finished = !finish }
+    if done_at > t.pc_finish then t.pc_finish <- done_at;
+    if not t.cb_parity.(i) then t.bytes_moved <- t.bytes_moved + bytes
+  done;
+  if t.pc_began = infinity then t.pc_began <- now
 
 let last_breakdown t =
   let s = t.ob_scratch in
   (s.(0), s.(1), s.(2), s.(3))
 
-let service t ~now ~kind ~extents =
-  let chunks = List.concat_map (chunks_of_extent t ~kind) extents in
-  perform_chunks t ~now chunks
+let serve_extents t ~now ~kind ~extents =
+  gen_extents t ~kind extents;
+  perform_buf t ~now
 
-let access t ~now ~kind ~extents = (service t ~now ~kind ~extents).finished
+let last_began t = t.pc_began
+let last_finished t = t.pc_finish
+
+let service t ~now ~kind ~extents =
+  serve_extents t ~now ~kind ~extents;
+  { began = t.pc_began; finished = t.pc_finish }
+
+let access t ~now ~kind ~extents =
+  serve_extents t ~now ~kind ~extents;
+  t.pc_finish
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch-queue path: requests are queued per drive and the scheduler
@@ -490,17 +573,36 @@ let op_service (op : op) =
     finished = Float.max op.last_finish op.submitted;
   }
 
+let op_began (op : op) = if op.began = infinity then op.submitted else op.began
+let op_finished (op : op) = Float.max op.last_finish op.submitted
+
 let in_service_finish t ~drive =
   match t.in_service.(drive) with Some r -> Some r.r_finish | None -> None
 
-(* Start the next pending request on an idle drive, if any. *)
-let dispatch t d ~now =
+let db_grow t need =
+  let cap = Array.length t.db_drive in
+  if need > cap then begin
+    let cap' = max need (2 * cap) in
+    let grow_i a = let a' = Array.make cap' 0 in Array.blit a 0 a' 0 t.db_len; a' in
+    let grow_f a = let a' = Array.make cap' 0. in Array.blit a 0 a' 0 t.db_len; a' in
+    let grow_b a = let a' = Array.make cap' false in Array.blit a 0 a' 0 t.db_len; a' in
+    t.db_drive <- grow_i t.db_drive;
+    t.db_op_id <- grow_i t.db_op_id;
+    t.db_started <- grow_f t.db_started;
+    t.db_finished <- grow_f t.db_finished;
+    t.db_bytes <- grow_i t.db_bytes;
+    t.db_parity <- grow_b t.db_parity
+  end
+
+(* Start the next pending request on an idle drive, if any; a started
+   request is appended to the dispatch buffer. *)
+let dispatch_push t d ~now =
   match t.in_service.(d) with
-  | Some _ -> None
+  | Some _ -> ()
   | None -> begin
       let drive = t.drives.(d) in
       match Squeue.take t.queues.(d) ~head:(Drive.head_cylinder drive) with
-      | None -> None
+      | None -> ()
       | Some (_cyl, req) ->
           let start = Float.max now (Drive.busy_until drive) in
           (match t.obs with
@@ -561,25 +663,34 @@ let dispatch t d ~now =
           if start < req.r_op.began then req.r_op.began <- start;
           if not req.r_parity then t.bytes_moved <- t.bytes_moved + req.r_bytes;
           t.in_service.(d) <- Some req;
-          Some
-            {
-              d_drive = d;
-              d_op_id = req.r_op.op_id;
-              d_started = start;
-              d_finished = finish;
-              d_bytes = req.r_bytes;
-              d_parity = req.r_parity;
-            }
+          db_grow t (t.db_len + 1);
+          let i = t.db_len in
+          t.db_drive.(i) <- d;
+          t.db_op_id.(i) <- req.r_op.op_id;
+          t.db_started.(i) <- start;
+          t.db_finished.(i) <- finish;
+          t.db_bytes.(i) <- req.r_bytes;
+          t.db_parity.(i) <- req.r_parity;
+          t.db_len <- i + 1
     end
 
-(* Enqueue one operation's already-mapped physical chunks and start
-   every idle drive that received work. *)
-let submit_chunks t ~now chunks =
+let dispatched_len t = t.db_len
+let dispatched_op_id t i = t.db_op_id.(i)
+let dispatched_drive t i = t.db_drive.(i)
+let dispatched_started t i = t.db_started.(i)
+let dispatched_finished t i = t.db_finished.(i)
+let dispatched_bytes t i = t.db_bytes.(i)
+let dispatched_parity t i = t.db_parity.(i)
+
+(* Enqueue the buffered chunks as one operation and start every idle
+   drive that received work; started requests land in the dispatch
+   buffer in first-touch drive order. *)
+let submit_buf t ~now =
   let op =
     {
       op_id = t.next_op_id;
       submitted = now;
-      chunks_left = List.length chunks;
+      chunks_left = t.cb_len;
       began = infinity;
       last_finish = now;
       o_bytes = 0;
@@ -591,32 +702,44 @@ let submit_chunks t ~now chunks =
   | Some _ ->
       op.o_obs <- Some { ob_seek = 0.; ob_rotation = 0.; ob_transfer = 0.; ob_penalty = 0. });
   t.next_op_id <- t.next_op_id + 1;
-  let touched = ref [] in
-  List.iter
-    (fun c ->
-      let cylinder = Geometry.cylinder_of_offset (Drive.geometry t.drives.(c.disk)) c.offset in
-      let req =
-        {
-          r_op = op;
-          r_offset = c.offset;
-          r_bytes = c.bytes;
-          r_parity = c.parity;
-          r_passes = (if c.rmw then 2 else 1);
-          r_start = now;
-          r_finish = now;
-        }
-      in
-      if not c.parity then op.o_bytes <- op.o_bytes + c.bytes;
-      Squeue.add t.queues.(c.disk) ~cylinder req;
-      if not (List.mem c.disk !touched) then touched := c.disk :: !touched)
-    chunks;
-  let touched = List.rev !touched in
+  t.touched_len <- 0;
+  for i = 0 to t.cb_len - 1 do
+    let disk = t.cb_disk.(i) in
+    let offset = t.cb_offset.(i) in
+    let bytes = t.cb_bytes.(i) in
+    let parity = t.cb_parity.(i) in
+    let cylinder = Geometry.cylinder_of_offset (Drive.geometry t.drives.(disk)) offset in
+    let req =
+      {
+        r_op = op;
+        r_offset = offset;
+        r_bytes = bytes;
+        r_parity = parity;
+        r_passes = (if t.cb_rmw.(i) then 2 else 1);
+        r_start = now;
+        r_finish = now;
+      }
+    in
+    if not parity then op.o_bytes <- op.o_bytes + bytes;
+    Squeue.add t.queues.(disk) ~cylinder req;
+    if not t.touched_mark.(disk) then begin
+      t.touched_mark.(disk) <- true;
+      t.touched.(t.touched_len) <- disk;
+      t.touched_len <- t.touched_len + 1
+    end
+  done;
+  for i = 0 to t.touched_len - 1 do
+    t.touched_mark.(t.touched.(i)) <- false
+  done;
   (match t.obs with
   | None -> ()
   | Some sink ->
       (* Sample each touched drive's depth at submission, before the
          idle-drive dispatch below pops the head request. *)
-      List.iter (fun d -> Sink.record_queue_depth sink ~drive:d ~depth:(load t d)) touched;
+      for i = 0 to t.touched_len - 1 do
+        let d = t.touched.(i) in
+        Sink.record_queue_depth sink ~drive:d ~depth:(load t d)
+      done;
       if Sink.tracing sink then
         Sink.event sink
           {
@@ -627,12 +750,34 @@ let submit_chunks t ~now chunks =
             op_id = op.op_id;
             bytes = op.o_bytes;
           });
-  (op, List.filter_map (fun d -> dispatch t d ~now) touched)
+  t.db_len <- 0;
+  for i = 0 to t.touched_len - 1 do
+    dispatch_push t t.touched.(i) ~now
+  done;
+  op
+
+let submit_flat t ~now ~kind ~extents =
+  gen_extents ~queued:true t ~kind extents;
+  submit_buf t ~now
+
+(* List-building wrapper kept for tests and offline tools; the engine
+   uses {!submit_flat} plus the dispatch-buffer accessors. *)
+let dispatched_list t =
+  List.init t.db_len (fun i ->
+      {
+        d_drive = t.db_drive.(i);
+        d_op_id = t.db_op_id.(i);
+        d_started = t.db_started.(i);
+        d_finished = t.db_finished.(i);
+        d_bytes = t.db_bytes.(i);
+        d_parity = t.db_parity.(i);
+      })
 
 let submit t ~now ~kind ~extents =
-  submit_chunks t ~now (List.concat_map (chunks_of_extent ~queued:true t ~kind) extents)
+  let op = submit_flat t ~now ~kind ~extents in
+  (op, dispatched_list t)
 
-let complete t ~drive =
+let complete_flat t ~drive =
   match t.in_service.(drive) with
   | None ->
       invalid_arg
@@ -644,8 +789,14 @@ let complete t ~drive =
       let op = req.r_op in
       op.chunks_left <- op.chunks_left - 1;
       if req.r_finish > op.last_finish then op.last_finish <- req.r_finish;
-      let next = dispatch t drive ~now:req.r_finish in
-      ({ c_op = op; c_op_done = op.chunks_left = 0 }, next)
+      t.db_len <- 0;
+      dispatch_push t drive ~now:req.r_finish;
+      op
+
+let complete t ~drive =
+  let op = complete_flat t ~drive in
+  let next = match dispatched_list t with [] -> None | d :: _ -> Some d in
+  ({ c_op = op; c_op_done = op.chunks_left = 0 }, next)
 
 let pending t ~drive = load t drive
 
@@ -680,7 +831,7 @@ let rebuild_sources t ~drive =
   match t.config with
   | Striped _ -> []
   | Mirrored _ -> [ drive lxor 1 ]
-  | Raid5 _ | Parity_striped -> List.filter (fun d -> d <> drive) (List.init (disks t) Fun.id)
+  | Raid5 _ | Parity_striped -> List.filter (fun d -> d <> drive) t.all_drives
 
 type rebuild_step =
   | Rebuild_idle
@@ -718,16 +869,20 @@ let rebuild_step t ~now ~queued ~drive =
              standing, write the reconstruction to the returning drive.
              All of it is redundancy traffic — rebuild I/O never counts
              as data throughput, but it competes for the arms. *)
-          let chunks =
-            List.map (fun s -> { disk = s; offset = pos; bytes; parity = true; rmw = false }) sources
-            @ [ { disk = drive; offset = pos; bytes; parity = true; rmw = false } ]
-          in
+          t.cb_len <- 0;
+          List.iter
+            (fun s -> cb_push t ~disk:s ~offset:pos ~bytes ~parity:true ~rmw:false)
+            sources;
+          cb_push t ~disk:drive ~offset:pos ~bytes ~parity:true ~rmw:false;
           Fault.rebuild_advance t.fault ~drive ~bytes;
           if queued then begin
-            let op, started = submit_chunks t ~now chunks in
-            Rebuild_queued (op, started)
+            let op = submit_buf t ~now in
+            Rebuild_queued (op, dispatched_list t)
           end
-          else Rebuild_sync (perform_chunks t ~now chunks).finished
+          else begin
+            perform_buf t ~now;
+            Rebuild_sync t.pc_finish
+          end
         end
       end
 
@@ -749,6 +904,10 @@ let reset t =
   Array.iter Drive.reset t.drives;
   Array.iter Squeue.clear t.queues;
   Array.fill t.in_service 0 (Array.length t.in_service) None;
+  t.cb_len <- 0;
+  t.db_len <- 0;
+  t.touched_len <- 0;
+  Array.fill t.touched_mark 0 (Array.length t.touched_mark) false;
   t.bytes_moved <- 0
 
 let drive_stats t = Array.map Drive.stats t.drives

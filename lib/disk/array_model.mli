@@ -89,6 +89,17 @@ val service : t -> now:float -> kind:kind -> extents:(int * int) list -> service
 val access : t -> now:float -> kind:kind -> extents:(int * int) list -> float
 (** [access t ~now ~kind ~extents] is [(service t ...).finished]. *)
 
+val serve_extents : t -> now:float -> kind:kind -> extents:(int * int) list -> unit
+(** Allocation-free {!service}: performs the operation and leaves its
+    window in {!last_began} / {!last_finished} instead of returning a
+    record.  The engine's synchronous hot path uses this. *)
+
+val last_began : t -> float
+(** [began] of the last {!serve_extents} / {!service} operation. *)
+
+val last_finished : t -> float
+(** [finished] of the last {!serve_extents} / {!service} operation. *)
+
 val time_of : t -> kind:kind -> extents:(int * int) list -> float
 (** Duration [access] would take on an otherwise idle, just-reset,
     {e fault-free} array; convenience for unit tests and analytic
@@ -159,6 +170,36 @@ val complete : t -> drive:int -> completion * dispatched option
     pending request per the scheduler, if any.  Raises
     [Invalid_argument] naming the drive and its queue depth if the drive
     has nothing in service. *)
+
+(** {2 Allocation-free dispatch surface}
+
+    {!submit_flat} / {!complete_flat} are {!submit} / {!complete} minus
+    the per-call [dispatched] records: the requests started by the last
+    call sit in an internal flat buffer read through the
+    [dispatched_*] accessors (valid indices are
+    [0 .. dispatched_len - 1], until the next [submit_flat] /
+    [complete_flat] on this array).  Observationally identical to the
+    list-returning calls — same dispatch order, same clocks. *)
+
+val submit_flat : t -> now:float -> kind:kind -> extents:(int * int) list -> op
+
+val complete_flat : t -> drive:int -> op
+(** Returns the operation the retired request belonged to (check
+    {!op_done}); the follow-on dispatch, if any, is in the buffer. *)
+
+val dispatched_len : t -> int
+val dispatched_op_id : t -> int -> int
+val dispatched_drive : t -> int -> int
+val dispatched_started : t -> int -> float
+val dispatched_finished : t -> int -> float
+val dispatched_bytes : t -> int -> int
+val dispatched_parity : t -> int -> bool
+
+val op_began : op -> float
+(** [(op_service op).began] without building the record. *)
+
+val op_finished : op -> float
+(** [(op_service op).finished] without building the record. *)
 
 val pending : t -> drive:int -> int
 (** Requests on [drive]'s dispatch queue, including the one in

@@ -25,6 +25,7 @@ type t = {
   comp : float array;
   scratch : float array;
   mutable last_distance : int;  (** cylinders moved by the last reposition; 0 otherwise *)
+  mutable repositioned : bool;  (** the last [duration] paid a full seek *)
 }
 
 let create geometry =
@@ -40,6 +41,7 @@ let create geometry =
     comp = Array.make 3 0.;
     scratch = Array.make 3 0.;
     last_distance = 0;
+    repositioned = false;
   }
 
 let geometry t = t.geometry
@@ -47,8 +49,10 @@ let busy_until t = t.busy_until
 let head_cylinder t = t.head_cylinder
 let next_sequential t = t.next_sequential
 
-(* Duration of a transfer plus whether it paid a seek/latency; pure in
-   [t] so that [service_time_ms] can share it. *)
+(* Duration of a transfer; whether it paid a seek/latency lands in
+   [t.repositioned] (a mutable field rather than a returned pair, so the
+   hot path never builds a tuple).  Pure in [t]'s clock so that
+   [service_time_ms] can share it. *)
 let duration t ~rng ~offset ~bytes =
   let g = t.geometry in
   assert (bytes >= 0 && offset >= 0 && offset + bytes <= Geometry.capacity_bytes g);
@@ -56,7 +60,8 @@ let duration t ~rng ~offset ~bytes =
   t.scratch.(1) <- 0.;
   t.scratch.(2) <- 0.;
   t.last_distance <- 0;
-  if bytes = 0 then (0., false)
+  t.repositioned <- false;
+  if bytes = 0 then 0.
   else begin
     let first_cyl = Geometry.cylinder_of_offset g offset in
     let last_cyl = Geometry.cylinder_of_offset g (offset + bytes - 1) in
@@ -72,34 +77,36 @@ let duration t ~rng ~offset ~bytes =
        the boundary between this transfer and the previous one — which
        bounds streaming at the drive's sustained rate rather than its
        raw media rate. *)
-    let position_cost, crossings, repositioned =
-      if gap = 0 then (0., last_cyl - t.head_cylinder, false)
+    let crossings =
+      if gap = 0 then last_cyl - t.head_cylinder
       else if gap > 0 && gap < Geometry.cylinder_bytes g then begin
-        let rotate_over_gap = Geometry.transfer_ms g ~bytes:gap in
-        t.scratch.(1) <- rotate_over_gap;
-        (rotate_over_gap, last_cyl - t.head_cylinder, false)
+        t.scratch.(1) <- Geometry.transfer_ms g ~bytes:gap;
+        last_cyl - t.head_cylinder
       end
       else begin
         let distance = abs (first_cyl - t.head_cylinder) in
-        let latency = Rofs_util.Rng.float rng *. g.Geometry.rotation_ms in
-        let arm = Geometry.seek_ms g ~distance in
-        t.scratch.(0) <- arm;
-        t.scratch.(1) <- latency;
+        t.scratch.(0) <- Geometry.seek_ms g ~distance;
+        t.scratch.(1) <- Rofs_util.Rng.float rng *. g.Geometry.rotation_ms;
         t.last_distance <- distance;
-        (arm +. latency, last_cyl - first_cyl, true)
+        t.repositioned <- true;
+        last_cyl - first_cyl
       end
     in
+    (* After the branch, scratch.(0)/(1) hold exactly the arm and
+       rotation costs it charged, so their sum is the position cost —
+       no tuple threads the pair out. *)
+    let position_cost = t.scratch.(0) +. t.scratch.(1) in
     let crossing_cost = float_of_int crossings *. g.Geometry.single_track_seek_ms in
     let transfer = Geometry.transfer_ms g ~bytes in
     t.scratch.(0) <- t.scratch.(0) +. crossing_cost;
     t.scratch.(2) <- transfer;
-    (position_cost +. crossing_cost +. transfer, repositioned)
+    position_cost +. crossing_cost +. transfer
   end
 
-let service_time_ms t ~rng ~offset ~bytes = fst (duration t ~rng ~offset ~bytes)
+let service_time_ms t ~rng ~offset ~bytes = duration t ~rng ~offset ~bytes
 
 let access t ~now ~rng ~offset ~bytes =
-  let time, paid_seek = duration t ~rng ~offset ~bytes in
+  let time = duration t ~rng ~offset ~bytes in
   let start = Float.max now t.busy_until in
   let finish = start +. time in
   t.busy_until <- finish;
@@ -108,7 +115,7 @@ let access t ~now ~rng ~offset ~bytes =
     t.next_sequential <- offset + bytes;
     t.requests <- t.requests + 1;
     t.bytes_moved <- t.bytes_moved + bytes;
-    if paid_seek then t.seeks <- t.seeks + 1;
+    if t.repositioned then t.seeks <- t.seeks + 1;
     t.busy_ms <- t.busy_ms +. time;
     t.comp.(0) <- t.comp.(0) +. t.scratch.(0);
     t.comp.(1) <- t.comp.(1) +. t.scratch.(1);
@@ -131,11 +138,10 @@ let serve t ~start ~rng ~offset ~bytes ~passes =
      their statistics) match the FCFS path exactly; the second pass of a
      read-modify-write re-targets the same bytes and therefore pays a
      full reposition, as it does there. *)
-  let finish = ref start in
-  for _ = 1 to passes do
-    finish := access t ~now:start ~rng ~offset ~bytes
-  done;
-  !finish
+  let rec go i finish =
+    if i >= passes then finish else go (i + 1) (access t ~now:start ~rng ~offset ~bytes)
+  in
+  go 1 (access t ~now:start ~rng ~offset ~bytes)
 
 let stats t =
   {
@@ -167,4 +173,5 @@ let reset t =
   t.scratch.(0) <- 0.;
   t.scratch.(1) <- 0.;
   t.scratch.(2) <- 0.;
-  t.last_distance <- 0
+  t.last_distance <- 0;
+  t.repositioned <- false

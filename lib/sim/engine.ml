@@ -31,6 +31,7 @@ type config = {
   metadata_io : bool;
   faults : Fault_plan.config;
   cache : Cache.config option;
+  shard_slices : int;
 }
 
 let default_config =
@@ -52,11 +53,16 @@ let default_config =
     metadata_io = false;
     faults = Fault_plan.none;
     cache = None;
+    shard_slices = 4;
   }
 
-let validate_config cfg =
+let validate_config ?shards cfg =
   let fail msg = invalid_arg ("Engine.config: " ^ msg) in
+  (match shards with
+  | Some n when n < 1 -> fail "shards must be positive"
+  | Some _ | None -> ());
   if cfg.disks <= 0 then fail "disks must be positive";
+  if cfg.shard_slices < 1 then fail "shard_slices must be positive";
   if cfg.stripe_unit_bytes <= 0 then fail "stripe_unit_bytes must be positive";
   if not (cfg.lower_bound > 0. && cfg.lower_bound <= 1.) then
     fail "lower_bound must lie in (0, 1]";
@@ -128,6 +134,10 @@ type fault_report = {
   rebuild_ios : int;
 }
 
+(* [user], [event] and [waiter] are mutually recursive so each user can
+   own its [Wake] event and [User_waiter] cell: both are allocated once
+   at engine construction and pushed by reference afterwards, keeping
+   the per-operation hot path free of event-record allocation. *)
 type user = {
   type_idx : int;
   ft : File_type.t;
@@ -136,16 +146,9 @@ type user = {
   mutable seq_offset : int;  (** scan position for Sequential types, bytes *)
   mutable read_ahead_until : int;  (** bytes of [file] already staged in memory *)
   mutable write_behind_until : int;  (** bytes of [file] covered by the last coalesced write *)
+  mutable wake_ev : event;  (** this user's pooled [Wake] event *)
+  mutable park : waiter;  (** this user's pooled [User_waiter] cell *)
 }
-
-(* How operations are selected and executed, per test (Section 3). *)
-type mode =
-  | Alloc_only of { governed : bool }
-      (** extend/truncate/delete only, no disk timing; [governed] caps
-          utilization at the upper bound (fill phase) while the
-          allocation test runs ungoverned until it fails *)
-  | Full_mix  (** the application-performance test *)
-  | Whole_file_rw  (** the sequential-performance test *)
 
 (* The event heap holds six event kinds: a user whose think time
    expired (perform its next operation); on the dispatch-queue path, a
@@ -154,7 +157,7 @@ type mode =
    background rebuild I/O of a resynchronising drive; the buffer
    cache's periodic dirty-page flush (write-back mode only); and, on a
    replay engine, the arrival of the next trace event. *)
-type event =
+and event =
   | Wake of user
   | Drive_done of int
   | Fault_tick
@@ -166,10 +169,19 @@ type event =
    time, the next chunk of a drive's rebuild sweep (not before
    [next_ok], the pacing limit), or the replay session's outstanding
    counter. *)
-type waiter =
+and waiter =
   | User_waiter of user
   | Rebuild_waiter of { drive : int; next_ok : float }
   | Replay_waiter
+
+(* How operations are selected and executed, per test (Section 3). *)
+type mode =
+  | Alloc_only of { governed : bool }
+      (** extend/truncate/delete only, no disk timing; [governed] caps
+          utilization at the upper bound (fill phase) while the
+          allocation test runs ungoverned until it fails *)
+  | Full_mix  (** the application-performance test *)
+  | Whole_file_rw  (** the sequential-performance test *)
 
 (* ------------------------------------------------------------------ *)
 (* Trace recording and replay surface                                  *)
@@ -242,8 +254,21 @@ type t = {
   rebuild_live : bool array;
       (** drive -> a rebuild continuation (heap tick or waiter) is
           outstanding; guards against duplicate tick chains *)
-  mutable in_flight : (float * float * int) list;
-      (** (issue, completion, bytes) of I/Os not yet fully credited *)
+  drive_done_evs : event array;  (** pooled [Drive_done d], one per drive *)
+  rebuild_evs : event array;  (** pooled [Rebuild_tick d], one per drive *)
+  (* In-flight I/Os not yet fully credited, as flat parallel arrays —
+     (issue, completion, bytes) per entry — stored in reverse of the
+     list the seed kept (index [fl_len - 1] is the most recent push), so
+     iterating [fl_len - 1 .. 0] visits entries in the seed's list order
+     and the checkpoint float sums are bit-identical.  [fl2_*] is the
+     spare buffer the checkpoint sweep compacts survivors into. *)
+  mutable fl_issue : float array;
+  mutable fl_finish : float array;
+  mutable fl_bytes : int array;
+  mutable fl_len : int;
+  mutable fl2_issue : float array;
+  mutable fl2_finish : float array;
+  mutable fl2_bytes : int array;
   mutable now : float;
   mutable disk_fulls : int;
   mutable io_ops : int;
@@ -288,6 +313,29 @@ type drive_report = {
    time its arm falls idle, so the engine posts per-drive completion
    events and the array dispatches from real queues. *)
 let queued t = t.cfg.scheduler <> Sched_policy.Fcfs
+
+(* Credit one I/O's bytes over its service window.  Append-only into the
+   flat arrays; growth doubles all three (plus the spare buffer, so the
+   checkpoint sweep never reallocates mid-run). *)
+let fl_push t ~issue ~finish bytes =
+  let n = t.fl_len in
+  if n = Array.length t.fl_bytes then begin
+    let cap = 2 * n in
+    let gi = Array.make cap 0. and gf = Array.make cap 0. and gb = Array.make cap 0 in
+    Array.blit t.fl_issue 0 gi 0 n;
+    Array.blit t.fl_finish 0 gf 0 n;
+    Array.blit t.fl_bytes 0 gb 0 n;
+    t.fl_issue <- gi;
+    t.fl_finish <- gf;
+    t.fl_bytes <- gb;
+    t.fl2_issue <- Array.make cap 0.;
+    t.fl2_finish <- Array.make cap 0.;
+    t.fl2_bytes <- Array.make cap 0
+  end;
+  t.fl_issue.(n) <- issue;
+  t.fl_finish.(n) <- finish;
+  t.fl_bytes.(n) <- bytes;
+  t.fl_len <- n + 1
 
 let volume t = t.volume
 let array_model t = t.array
@@ -405,13 +453,13 @@ let seed_events t =
     (fun user ->
       let spread = float_of_int user.ft.File_type.users *. user.ft.File_type.hit_freq_ms in
       let start = t.now +. Dist.uniform t.rng ~lo:0. ~hi:(Float.max spread 1.) in
-      Heap.push t.heap ~prio:start (Wake user))
+      Heap.push t.heap ~prio:start user.wake_ev)
     t.users;
   if queued t then begin
     Hashtbl.reset t.waiters;
     for d = 0 to Array_model.disks t.array - 1 do
       match Array_model.in_service_finish t.array ~drive:d with
-      | Some finish -> Heap.push t.heap ~prio:finish (Drive_done d)
+      | Some finish -> Heap.push t.heap ~prio:finish t.drive_done_evs.(d)
       | None -> ()
     done
   end;
@@ -433,7 +481,7 @@ let seed_events t =
       let live =
         match Array_model.drive_state t.array ~drive:d with
         | `Rebuilding _ ->
-            Heap.push t.heap ~prio:t.now (Rebuild_tick d);
+            Heap.push t.heap ~prio:t.now t.rebuild_evs.(d);
             true
         | `Healthy | `Failed -> false
       in
@@ -461,15 +509,22 @@ let make cfg ~policy ~workload ~with_users =
            (List.mapi
               (fun type_idx ft ->
                 List.init ft.File_type.users (fun _ ->
-                    {
-                      type_idx;
-                      ft;
-                      rng = Rng.split rng;
-                      file = -1;
-                      seq_offset = 0;
-                      read_ahead_until = 0;
-                      write_behind_until = 0;
-                    }))
+                    let u =
+                      {
+                        type_idx;
+                        ft;
+                        rng = Rng.split rng;
+                        file = -1;
+                        seq_offset = 0;
+                        read_ahead_until = 0;
+                        write_behind_until = 0;
+                        wake_ev = Fault_tick;
+                        park = Replay_waiter;
+                      }
+                    in
+                    u.wake_ev <- Wake u;
+                    u.park <- User_waiter u;
+                    u))
               workload.Workload.types))
   in
   let t =
@@ -489,7 +544,15 @@ let make cfg ~policy ~workload ~with_users =
          else None);
       pending_fault = None;
       rebuild_live = Array.make cfg.disks false;
-      in_flight = [];
+      drive_done_evs = Array.init cfg.disks (fun d -> Drive_done d);
+      rebuild_evs = Array.init cfg.disks (fun d -> Rebuild_tick d);
+      fl_issue = Array.make 64 0.;
+      fl_finish = Array.make 64 0.;
+      fl_bytes = Array.make 64 0;
+      fl_len = 0;
+      fl2_issue = Array.make 64 0.;
+      fl2_finish = Array.make 64 0.;
+      fl2_bytes = Array.make 64 0;
       now = 0.;
       disk_fulls = 0;
       io_ops = 0;
@@ -552,16 +615,19 @@ type outcome = Done of float | Wait of Array_model.op
 (* Push the completion event for every request a drive just started,
    and — for operations that count toward throughput — credit each
    request's bytes over its own service window (the queued-path
-   refinement of the seed's per-operation crediting). *)
-let post_dispatched t ~credit ds =
-  List.iter
-    (fun (d : Array_model.dispatched) ->
-      Heap.push t.heap ~prio:d.Array_model.d_finished (Drive_done d.Array_model.d_drive);
-      if credit && not d.Array_model.d_parity then
-        t.in_flight <-
-          (d.Array_model.d_started, d.Array_model.d_finished, d.Array_model.d_bytes)
-          :: t.in_flight)
-    ds
+   refinement of the seed's per-operation crediting).  Reads the
+   array's flat dispatch buffer (everything started by the last
+   [submit_flat] / [complete_flat] / [rebuild_step]), in the same order
+   the list-returning calls produced. *)
+let post_dispatched t ~credit =
+  let a = t.array in
+  for i = 0 to Array_model.dispatched_len a - 1 do
+    let finish = Array_model.dispatched_finished a i in
+    Heap.push t.heap ~prio:finish t.drive_done_evs.(Array_model.dispatched_drive a i);
+    if credit && not (Array_model.dispatched_parity a i) then
+      fl_push t ~issue:(Array_model.dispatched_started a i) ~finish
+        (Array_model.dispatched_bytes a i)
+  done
 
 (* Issue the physical transfer for a logical byte range; bytes are
    credited to the throughput accounting per service window.  An
@@ -573,15 +639,17 @@ let do_io_raw t ~kind ~file ~off ~len =
   if extents = [] then Done t.now
   else if not (queued t) then begin
     let physical = List.fold_left (fun acc (_, l) -> acc + l) 0 extents in
-    let sv = Array_model.service t.array ~now:t.now ~kind ~extents in
+    Array_model.serve_extents t.array ~now:t.now ~kind ~extents;
+    let began = Array_model.last_began t.array in
+    let finished = Array_model.last_finished t.array in
     t.io_ops <- t.io_ops + 1;
     (match t.obs with
     | None -> ()
     | Some sink ->
         let seek, rotation, transfer, _penalty = Array_model.last_breakdown t.array in
         Sink.record_op sink
-          ~latency:(sv.Array_model.finished -. t.now)
-          ~queue_wait:(sv.Array_model.began -. t.now)
+          ~latency:(finished -. t.now)
+          ~queue_wait:(began -. t.now)
           ~seek ~rotation ~transfer;
         if Sink.tracing sink then begin
           Sink.event sink
@@ -595,7 +663,7 @@ let do_io_raw t ~kind ~file ~off ~len =
             };
           Sink.event sink
             {
-              Trc.at_ms = sv.Array_model.finished;
+              Trc.at_ms = finished;
               dur_ms = 0.;
               kind = Trc.Completion;
               drive = -1;
@@ -604,15 +672,14 @@ let do_io_raw t ~kind ~file ~off ~len =
             }
         end);
     (* Credit bytes over the service window, not the queue wait. *)
-    t.in_flight <- (sv.Array_model.began, sv.Array_model.finished, physical) :: t.in_flight;
-    Done sv.Array_model.finished
+    fl_push t ~issue:began ~finish:finished physical;
+    Done finished
   end
   else begin
-    let op, started = Array_model.submit t.array ~now:t.now ~kind ~extents in
+    let op = Array_model.submit_flat t.array ~now:t.now ~kind ~extents in
     t.io_ops <- t.io_ops + 1;
-    post_dispatched t ~credit:true started;
-    if Array_model.op_done op then Done (Array_model.op_service op).Array_model.finished
-    else Wait op
+    post_dispatched t ~credit:true;
+    if Array_model.op_done op then Done (Array_model.op_finished op) else Wait op
   end
 
 let do_io t ~kind ~file ~off ~len =
@@ -650,10 +717,12 @@ let submit_writeback t (run : Cache.run) =
     if extents <> [] then begin
       try
         if not (queued t) then
-          ignore (Array_model.access t.array ~now:t.now ~kind:Array_model.Write ~extents : float)
+          Array_model.serve_extents t.array ~now:t.now ~kind:Array_model.Write ~extents
         else begin
-          let _op, started = Array_model.submit t.array ~now:t.now ~kind:Array_model.Write ~extents in
-          post_dispatched t ~credit:false started
+          ignore
+            (Array_model.submit_flat t.array ~now:t.now ~kind:Array_model.Write ~extents
+              : Array_model.op);
+          post_dispatched t ~credit:false
         end
       with Fault.Data_loss _ -> t.data_loss <- t.data_loss + 1
     end
@@ -696,7 +765,7 @@ let do_cached_io t cache ~type_idx ~kind ~file ~off ~len ~logical =
       record_cache_outcome t o;
       submit_writebacks t ~kind:Trc.Cache_evict o.Cache.o_writebacks;
       if Cache.write_back cache then begin
-        t.in_flight <- (t.now, t.now, len) :: t.in_flight;
+        fl_push t ~issue:t.now ~finish:t.now len;
         cache_mark t ~kind:Trc.Cache_hit ~bytes:len;
         Done t.now
       end
@@ -837,12 +906,12 @@ let charge_metadata t ~file ~new_extents =
        else. *)
     (try
        if not (queued t) then
-         ignore (Array_model.access t.array ~now:t.now ~kind:Array_model.Write ~extents : float)
+         Array_model.serve_extents t.array ~now:t.now ~kind:Array_model.Write ~extents
        else begin
-         let _op, started =
-           Array_model.submit t.array ~now:t.now ~kind:Array_model.Write ~extents
-         in
-         post_dispatched t ~credit:false started
+         ignore
+           (Array_model.submit_flat t.array ~now:t.now ~kind:Array_model.Write ~extents
+             : Array_model.op);
+         post_dispatched t ~credit:false
        end
      with Fault.Data_loss _ -> t.data_loss <- t.data_loss + 1);
     t.meta_bytes <- t.meta_bytes + (meta_units * unit)
@@ -966,7 +1035,7 @@ let rebuild_retry_ms = 1_000.
 let kick_rebuild t ~drive ~at =
   if not t.rebuild_live.(drive) then begin
     t.rebuild_live.(drive) <- true;
-    Heap.push t.heap ~prio:at (Rebuild_tick drive)
+    Heap.push t.heap ~prio:at t.rebuild_evs.(drive)
   end
 
 let apply_fault t = function
@@ -995,13 +1064,12 @@ let apply_fault t = function
    when the whole operation is done. *)
 (* Instrumentation for a queued-path operation that just completed with
    a waiter attached (user or replay session). *)
-let observe_queued_completion t completion ~id ~finished =
+let observe_queued_completion t op ~id ~finished =
   match t.obs with
   | None -> ()
   | Some sink ->
-      let op = completion.Array_model.c_op in
       let submitted = Array_model.op_submitted op in
-      let began = (Array_model.op_service op).Array_model.began in
+      let began = Array_model.op_began op in
       let seek, rotation, transfer =
         match Array_model.op_breakdown op with
         | Some (s, r, x, _penalty) -> (s, r, x)
@@ -1025,44 +1093,41 @@ let observe_queued_completion t completion ~id ~finished =
 let run_events t ~mode ~stop =
   let wake_after t (user : user) ~completion =
     let think = Dist.exponential user.rng ~mean:user.ft.File_type.process_time_ms in
-    Heap.push t.heap ~prio:(completion +. think) (Wake user)
+    Heap.push t.heap ~prio:(completion +. think) user.wake_ev
   in
   let rec loop () =
-    match Heap.pop t.heap with
-    | None -> ()
-    | Some (time, Wake user) ->
+    if Heap.is_empty t.heap then ()
+    else begin
+      let time = Heap.min_prio t.heap in
+      match Heap.take_min t.heap with
+      | Wake user ->
         t.now <- Float.max t.now time;
         let outcome, failed = perform t ~mode user in
         (match outcome with
         | Done completion -> wake_after t user ~completion
-        | Wait op -> Hashtbl.replace t.waiters (Array_model.op_id op) (User_waiter user));
+        | Wait op -> Hashtbl.replace t.waiters (Array_model.op_id op) user.park);
         if not (stop ~failed) then loop ()
-    | Some (time, Drive_done d) ->
+      | Drive_done d ->
         t.now <- Float.max t.now time;
-        let completion, next = Array_model.complete t.array ~drive:d in
-        (match next with
-        | Some disp ->
-            (* Credit the newly dispatched request only if its operation
-               still counts: metadata write-back, rebuild traffic and
-               operations orphaned by a test-phase change carry no user
-               waiter (rebuild chunks are parity and never credit). *)
-            post_dispatched t
-              ~credit:(Hashtbl.mem t.waiters disp.Array_model.d_op_id)
-              [ disp ]
-        | None -> ());
-        (if completion.Array_model.c_op_done then begin
-           let id = Array_model.op_id completion.Array_model.c_op in
-           let finished =
-             (Array_model.op_service completion.Array_model.c_op).Array_model.finished
-           in
+        let op = Array_model.complete_flat t.array ~drive:d in
+        (* Credit the newly dispatched request only if its operation
+           still counts: metadata write-back, rebuild traffic and
+           operations orphaned by a test-phase change carry no user
+           waiter (rebuild chunks are parity and never credit). *)
+        if Array_model.dispatched_len t.array > 0 then
+          post_dispatched t
+            ~credit:(Hashtbl.mem t.waiters (Array_model.dispatched_op_id t.array 0));
+        (if Array_model.op_done op then begin
+           let id = Array_model.op_id op in
+           let finished = Array_model.op_finished op in
            match Hashtbl.find_opt t.waiters id with
            | Some (User_waiter user) ->
                Hashtbl.remove t.waiters id;
-               observe_queued_completion t completion ~id ~finished;
+               observe_queued_completion t op ~id ~finished;
                wake_after t user ~completion:finished
            | Some Replay_waiter ->
                Hashtbl.remove t.waiters id;
-               observe_queued_completion t completion ~id ~finished;
+               observe_queued_completion t op ~id ~finished;
                (match t.replay with
                | Some rs ->
                    rs.rs_outstanding <- rs.rs_outstanding - 1;
@@ -1070,11 +1135,11 @@ let run_events t ~mode ~stop =
                | None -> ())
            | Some (Rebuild_waiter { drive; next_ok }) ->
                Hashtbl.remove t.waiters id;
-               Heap.push t.heap ~prio:(Float.max finished next_ok) (Rebuild_tick drive)
+               Heap.push t.heap ~prio:(Float.max finished next_ok) t.rebuild_evs.(drive)
            | None -> ()
          end);
         if not (stop ~failed:false) then loop ()
-    | Some (time, Fault_tick) ->
+      | Fault_tick ->
         t.now <- Float.max t.now time;
         (match t.pending_fault with
         | None -> ()
@@ -1086,33 +1151,31 @@ let run_events t ~mode ~stop =
             | Some (at, _) -> Heap.push t.heap ~prio:(Float.max at t.now) Fault_tick
             | None -> ()));
         if not (stop ~failed:false) then loop ()
-    | Some (time, Rebuild_tick d) ->
+      | Rebuild_tick d ->
         t.now <- Float.max t.now time;
         (match Array_model.rebuild_step t.array ~now:t.now ~queued:(queued t) ~drive:d with
         | Array_model.Rebuild_idle | Array_model.Rebuild_done -> t.rebuild_live.(d) <- false
         | Array_model.Rebuild_blocked ->
-            Heap.push t.heap ~prio:(t.now +. rebuild_retry_ms) (Rebuild_tick d)
+            Heap.push t.heap ~prio:(t.now +. rebuild_retry_ms) t.rebuild_evs.(d)
         | Array_model.Rebuild_sync finish ->
             t.rebuild_ios <- t.rebuild_ios + 1;
             mark t ~kind:Trc.Rebuild ~drive:d;
             Heap.push t.heap
               ~prio:(Float.max finish (t.now +. rebuild_gap_ms t))
-              (Rebuild_tick d)
-        | Array_model.Rebuild_queued (op, started) ->
+              t.rebuild_evs.(d)
+        | Array_model.Rebuild_queued (op, _started) ->
             t.rebuild_ios <- t.rebuild_ios + 1;
             mark t ~kind:Trc.Rebuild ~drive:d;
-            post_dispatched t ~credit:false started;
+            post_dispatched t ~credit:false;
             if Array_model.op_done op then
               Heap.push t.heap
-                ~prio:
-                  (Float.max (Array_model.op_service op).Array_model.finished
-                     (t.now +. rebuild_gap_ms t))
-                (Rebuild_tick d)
+                ~prio:(Float.max (Array_model.op_finished op) (t.now +. rebuild_gap_ms t))
+                t.rebuild_evs.(d)
             else
               Hashtbl.replace t.waiters (Array_model.op_id op)
                 (Rebuild_waiter { drive = d; next_ok = t.now +. rebuild_gap_ms t }));
         if not (stop ~failed:false) then loop ()
-    | Some (time, Flush_tick) ->
+      | Flush_tick ->
         t.now <- Float.max t.now time;
         (match t.cache with
         | Some cache ->
@@ -1129,7 +1192,7 @@ let run_events t ~mode ~stop =
             Heap.push t.heap ~prio:(t.now +. Cache.flush_interval_ms cache) Flush_tick
         | None -> ());
         if not (stop ~failed:false) then loop ()
-    | Some (time, Replay_tick) ->
+      | Replay_tick ->
         t.now <- Float.max t.now time;
         (match t.replay with
         | None -> ()
@@ -1147,6 +1210,7 @@ let run_events t ~mode ~stop =
                     Heap.push t.heap ~prio:(Float.max at t.now) Replay_tick
                 | None -> ())));
         if not (stop ~failed:false) then loop ()
+    end
   in
   loop ()
 
@@ -1192,18 +1256,36 @@ let fill_to_lower_bound t =
    their service interval, so long whole-file transfers contribute to the
    checkpoints they span rather than arriving as a lump at completion. *)
 let bytes_transferred_by t ~upto =
-  let still_pending = ref [] in
+  (* The seed iterated its in-flight list newest-first and rebuilt it by
+     prepending survivors; on the flat arrays that is a descending scan
+     compacted ascending into the spare buffer, then a buffer swap —
+     the same visit order, so the partial-credit float sum is
+     bit-identical. *)
   let partial = ref 0. in
-  List.iter
-    (fun ((issue, finish, bytes) as op) ->
-      if finish <= upto then t.bytes_completed <- t.bytes_completed + bytes
-      else begin
-        still_pending := op :: !still_pending;
-        if issue < upto && finish > issue then
-          partial := !partial +. (float_of_int bytes *. (upto -. issue) /. (finish -. issue))
-      end)
-    t.in_flight;
-  t.in_flight <- !still_pending;
+  let kept = ref 0 in
+  for i = t.fl_len - 1 downto 0 do
+    let finish = t.fl_finish.(i) in
+    if finish <= upto then t.bytes_completed <- t.bytes_completed + t.fl_bytes.(i)
+    else begin
+      let issue = t.fl_issue.(i) in
+      let j = !kept in
+      t.fl2_issue.(j) <- issue;
+      t.fl2_finish.(j) <- finish;
+      t.fl2_bytes.(j) <- t.fl_bytes.(i);
+      kept := j + 1;
+      if issue < upto && finish > issue then
+        partial :=
+          !partial +. (float_of_int t.fl_bytes.(i) *. (upto -. issue) /. (finish -. issue))
+    end
+  done;
+  let si = t.fl_issue and sf = t.fl_finish and sb = t.fl_bytes in
+  t.fl_issue <- t.fl2_issue;
+  t.fl_finish <- t.fl2_finish;
+  t.fl_bytes <- t.fl2_bytes;
+  t.fl2_issue <- si;
+  t.fl2_finish <- sf;
+  t.fl2_bytes <- sb;
+  t.fl_len <- !kept;
   float_of_int t.bytes_completed +. !partial
 
 (* Drive a replay session to exhaustion.  [next] yields the arrival
@@ -1221,7 +1303,7 @@ let run_replay t ~next =
   in
   t.replay <- Some rs;
   t.bytes_completed <- 0;
-  t.in_flight <- [];
+  t.fl_len <- 0;
   let io_at_start = t.io_ops in
   let first = ref None in
   (match next () with
@@ -1253,7 +1335,7 @@ let run_measured t ~mode =
   let io_at_start = t.io_ops and fulls_at_start = t.disk_fulls in
   let meta_at_start = t.meta_bytes in
   t.bytes_completed <- 0;
-  t.in_flight <- [];
+  t.fl_len <- 0;
   let series =
     Stats.Series.create ~window:t.cfg.stable_windows ~tolerance:t.cfg.tolerance_pct
   in
@@ -1360,3 +1442,231 @@ let fault_report t =
     dirty_bytes = Fault.dirty_bytes st;
     rebuild_ios = t.rebuild_ios;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Sharded intra-run parallelism                                       *)
+
+type sharded_report = {
+  s_application : throughput_report;
+  s_sequential : throughput_report;
+  s_cache : cache_report option;
+  s_fault : fault_report;
+  s_sink : Sink.t option;
+  s_slices : int;
+  s_shards : int;
+}
+
+(* One slice's raw results, plus the weights its reports merge under. *)
+type slice_result = {
+  sl_app : throughput_report;
+  sl_seq : throughput_report;
+  sl_cache : cache_report option;
+  sl_fault : fault_report;
+  sl_sink : Sink.t option;
+  sl_max_bw : float;
+  sl_capacity : float;
+  sl_files : int;
+}
+
+(* The decomposition is a pure function of the config alone: slice [i]
+   gets [disks/slices] drives (+1 for the first [disks mod slices]
+   slices) and an engine / fault seed derived from [(seed, i)] — never
+   from the execution width, so every [--shards] count simulates the
+   identical set of slices. *)
+let slice_configs cfg =
+  let slices = cfg.shard_slices in
+  Array.init slices (fun i ->
+      let disks = (cfg.disks / slices) + if i < cfg.disks mod slices then 1 else 0 in
+      let seed = Rng.derive_seed ~seed:cfg.seed ~stream:i in
+      let faults =
+        { cfg.faults with Fault_plan.seed = Rng.derive_seed ~seed:cfg.faults.Fault_plan.seed ~stream:i }
+      in
+      { cfg with seed; disks; faults; shard_slices = 1 })
+
+(* Fold the per-slice reports in fixed slice order: additive counters
+   sum, rates sum (the slices ran side by side), the percentage is the
+   summed rate against the summed bandwidth, durations take the max, and
+   the dimensionless ratios merge under their natural weights (capacity
+   for utilization, file count for extents per file). *)
+let merge_throughput pick results =
+  let rate = ref 0. and max_bw = ref 0. in
+  let measured = ref 0. and checkpoints = ref 0 in
+  let stabilized = ref true in
+  let io_ops = ref 0 and disk_fulls = ref 0 and meta = ref 0 in
+  let util_w = ref 0. and cap = ref 0. in
+  let mepf_w = ref 0. and files = ref 0. in
+  Array.iter
+    (fun sl ->
+      let (r : throughput_report) = pick sl in
+      rate := !rate +. r.bytes_per_ms;
+      max_bw := !max_bw +. sl.sl_max_bw;
+      measured := Float.max !measured r.measured_ms;
+      checkpoints := max !checkpoints r.checkpoints;
+      stabilized := !stabilized && r.stabilized;
+      io_ops := !io_ops + r.io_ops;
+      disk_fulls := !disk_fulls + r.disk_fulls;
+      meta := !meta + r.meta_bytes;
+      util_w := !util_w +. (r.utilization *. sl.sl_capacity);
+      cap := !cap +. sl.sl_capacity;
+      mepf_w := !mepf_w +. (r.mean_extents_per_file *. float_of_int sl.sl_files);
+      files := !files +. float_of_int sl.sl_files)
+    results;
+  {
+    pct_of_max = (if !max_bw > 0. then 100. *. !rate /. !max_bw else 0.);
+    bytes_per_ms = !rate;
+    measured_ms = !measured;
+    checkpoints = !checkpoints;
+    stabilized = !stabilized;
+    io_ops = !io_ops;
+    disk_fulls = !disk_fulls;
+    utilization = (if !cap > 0. then !util_w /. !cap else 0.);
+    mean_extents_per_file = (if !files > 0. then !mepf_w /. !files else 0.);
+    meta_bytes = !meta;
+  }
+
+(* Cache counters sum; the per-type rows merge by type name in
+   first-seen slice order (a slice only lists the types its partition
+   gave it). *)
+let merge_cache results =
+  if Array.exists (fun sl -> sl.sl_cache = None) results then None
+  else begin
+    let base = match results.(0).sl_cache with Some c -> c | None -> assert false in
+    let lookups = ref 0 and hits = ref 0 and misses = ref 0 in
+    let hit_bytes = ref 0 and insertions = ref 0 and evictions = ref 0 in
+    let dirty_ev = ref 0 and flushes = ref 0 and wb_bytes = ref 0 in
+    let prefetched = ref 0 and invalidations = ref 0 in
+    let per_type = ref [] in
+    Array.iter
+      (fun sl ->
+        let c = match sl.sl_cache with Some c -> c | None -> assert false in
+        lookups := !lookups + c.cr_lookups;
+        hits := !hits + c.cr_hits;
+        misses := !misses + c.cr_misses;
+        hit_bytes := !hit_bytes + c.cr_hit_bytes;
+        insertions := !insertions + c.cr_insertions;
+        evictions := !evictions + c.cr_evictions;
+        dirty_ev := !dirty_ev + c.cr_dirty_evictions;
+        flushes := !flushes + c.cr_flushes;
+        wb_bytes := !wb_bytes + c.cr_writeback_bytes;
+        prefetched := !prefetched + c.cr_prefetched_pages;
+        invalidations := !invalidations + c.cr_invalidations;
+        Array.iter
+          (fun (name, h, m) ->
+            match List.assoc_opt name !per_type with
+            | Some (h0, m0) ->
+                per_type :=
+                  List.map
+                    (fun (n, hm) -> if n = name then (n, (h0 + h, m0 + m)) else (n, hm))
+                    !per_type
+            | None -> per_type := !per_type @ [ (name, (h, m)) ])
+          c.cr_per_type)
+      results;
+    Some
+      {
+        base with
+        cr_lookups = !lookups;
+        cr_hits = !hits;
+        cr_misses = !misses;
+        cr_hit_rate =
+          (if !lookups > 0 then float_of_int !hits /. float_of_int !lookups else 0.);
+        cr_hit_bytes = !hit_bytes;
+        cr_insertions = !insertions;
+        cr_evictions = !evictions;
+        cr_dirty_evictions = !dirty_ev;
+        cr_flushes = !flushes;
+        cr_writeback_bytes = !wb_bytes;
+        cr_prefetched_pages = !prefetched;
+        cr_invalidations = !invalidations;
+        cr_per_type =
+          Array.of_list (List.map (fun (n, (h, m)) -> (n, h, m)) !per_type);
+      }
+  end
+
+(* Drive states concatenate in slice order (slice 0's drives first);
+   every counter sums. *)
+let merge_fault results =
+  let sum f = Array.fold_left (fun acc sl -> acc + f sl.sl_fault) 0 results in
+  {
+    drive_states =
+      Array.concat (Array.to_list (Array.map (fun sl -> sl.sl_fault.drive_states) results));
+    data_loss = sum (fun f -> f.data_loss);
+    media_errors = sum (fun f -> f.media_errors);
+    retries = sum (fun f -> f.retries);
+    remaps = sum (fun f -> f.remaps);
+    remap_hits = sum (fun f -> f.remap_hits);
+    reconstructed_reads = sum (fun f -> f.reconstructed_reads);
+    degraded_writes = sum (fun f -> f.degraded_writes);
+    dirty_bytes = sum (fun f -> f.dirty_bytes);
+    rebuild_ios = sum (fun f -> f.rebuild_ios);
+  }
+
+let merge_slice_sinks results =
+  let acc = ref None in
+  Array.iter
+    (fun sl ->
+      match (sl.sl_sink, !acc) with
+      | None, _ -> ()
+      | Some s, None -> acc := Some s
+      | Some s, Some a -> acc := Some (Sink.merge a s))
+    results;
+  !acc
+
+let run_sharded ?(shards = 1) ?(instrument = false) ?(trace = false) cfg ~policy ~workload =
+  validate_config ~shards cfg;
+  Workload.validate workload;
+  if cfg.shard_slices > cfg.disks then
+    invalid_arg "Engine.config: shard_slices must not exceed disks";
+  let slices = cfg.shard_slices in
+  (* [shard_slices = 1] short-circuits the decomposition entirely: the
+     one slice reuses the base config and workload verbatim, so its run
+     — and, below, its unmerged reports — are byte-identical to the
+     serial path. *)
+  let cfgs = if slices = 1 then [| cfg |] else slice_configs cfg in
+  let weights = Array.map (fun (c : config) -> c.disks) cfgs in
+  let parts = Workload.partition workload ~weights in
+  let run_slice i =
+    let slice_cfg = cfgs.(i) in
+    let w = parts.(i) in
+    let p = policy ~slice:i slice_cfg w in
+    let engine = create slice_cfg ~policy:p ~workload:w in
+    let sink = if instrument then Some (Sink.create ~trace ()) else None in
+    Option.iter (attach_obs engine) sink;
+    fill_to_lower_bound engine;
+    let app = run_application_test engine in
+    let seq = run_sequential_test engine in
+    {
+      sl_app = app;
+      sl_seq = seq;
+      sl_cache = cache_report engine;
+      sl_fault = fault_report engine;
+      sl_sink = sink;
+      sl_max_bw = max_bandwidth_pct_base engine;
+      sl_capacity = float_of_int (Array_model.capacity_bytes engine.array);
+      sl_files =
+        List.fold_left
+          (fun acc (ft : File_type.t) -> acc + ft.File_type.count)
+          0 w.Workload.types;
+    }
+  in
+  let results = Rofs_par.Pool.map ~jobs:shards run_slice (Array.init slices (fun i -> i)) in
+  let s_sink = merge_slice_sinks results in
+  if slices = 1 then
+    {
+      s_application = results.(0).sl_app;
+      s_sequential = results.(0).sl_seq;
+      s_cache = results.(0).sl_cache;
+      s_fault = results.(0).sl_fault;
+      s_sink;
+      s_slices = 1;
+      s_shards = shards;
+    }
+  else
+    {
+      s_application = merge_throughput (fun sl -> sl.sl_app) results;
+      s_sequential = merge_throughput (fun sl -> sl.sl_seq) results;
+      s_cache = merge_cache results;
+      s_fault = merge_fault results;
+      s_sink;
+      s_slices = slices;
+      s_shards = shards;
+    }

@@ -82,6 +82,14 @@ type config = {
           pages flushed on eviction or a periodic tick.  The default
           [None] keeps every code path byte-identical to the seed —
           the frozen goldens pin this. *)
+  shard_slices : int;
+      (** fixed decomposition width of {!run_sharded} (default 4): the
+          run is always split into exactly this many independent slices
+          regardless of [--shards] (which only sets how many domains
+          execute them), so sharded results are byte-identical at every
+          shard count.  Ignored by the serial entry points ({!create},
+          {!run_application_test}, ...), which always simulate the whole
+          configured system. *)
 }
 
 val default_config : config
@@ -89,11 +97,14 @@ val default_config : config
     M=0.95, 10-second checkpoints, 3 windows at 0.1, 15-minute simulated
     cap, 5M-op allocation cap, 4-burst read-ahead, no faults. *)
 
-val validate_config : config -> unit
+val validate_config : ?shards:int -> config -> unit
 (** Raises [Invalid_argument] with a one-line message on the first
     nonsensical field (bounds out of order or outside (0, 1],
     non-positive interval / windows / caps, a read-ahead factor below 1,
-    or an invalid fault plan).  {!create} calls this. *)
+    a non-positive [shard_slices], or an invalid fault plan).  [shards]
+    — a {!run_sharded} execution width to validate alongside the config
+    (CLI front ends pass the [--shards] value here) — must be positive
+    when given.  {!create} calls this. *)
 
 type alloc_report = {
   internal_frag : float;  (** fraction of allocated space unused *)
@@ -276,6 +287,70 @@ val run_allocation_test : t -> alloc_report
 val fill_to_lower_bound : t -> unit
 val run_application_test : t -> throughput_report
 val run_sequential_test : t -> throughput_report
+
+(** {1 Sharded intra-run parallelism}
+
+    {!run_sharded} splits one throughput run into
+    [config.shard_slices] independent sub-simulations: the drives are
+    partitioned into contiguous index ranges (one per slice, sizes as
+    equal as integer division allows), the workload is partitioned with
+    {!Rofs_workload.Workload.partition} (weighted by each slice's disk
+    count), and each slice runs the full fill / application / sequential
+    protocol on its own engine, with its own event heap and an RNG
+    stream derived deterministically from [(config.seed, slice)].
+
+    The decomposition is a pure function of the config — [shards] only
+    sets how many domains execute the slices (via {!Rofs_par.Pool}) —
+    and the per-slice results are folded in fixed slice order, so the
+    merged report is {e byte-identical at every shard count}; the test
+    suite pins shards 1/2/4/8 against each other and [shard_slices = 1]
+    against the serial {!run_application_test} path bit for bit.
+
+    Because each slice derives its RNG stream from the same
+    [(seed, slice)] function on every run, a sharded run is exactly as
+    reproducible as a serial one — and trace record / replay inside a
+    slice works unchanged, since a slice {e is} a complete serial engine
+    over its sub-array and sub-workload. *)
+
+type sharded_report = {
+  s_application : throughput_report;  (** merged application-test report *)
+  s_sequential : throughput_report;  (** merged sequential-test report *)
+  s_cache : cache_report option;
+      (** summed cache counters; [None] when the config has no cache *)
+  s_fault : fault_report;
+      (** summed fault counters; [drive_states] concatenates the slices'
+          drives in slice order *)
+  s_sink : Rofs_obs.Sink.t option;
+      (** per-slice sinks folded with [Sink.merge] in slice order; [None]
+          unless [instrument] *)
+  s_slices : int;  (** the decomposition width ([config.shard_slices]) *)
+  s_shards : int;  (** the execution width actually used *)
+}
+(** Merge rules: additive counters sum; rates sum (slices run side by
+    side) and [pct_of_max] is the summed rate against the summed
+    per-slice bandwidth; [measured_ms] / [checkpoints] take the max;
+    [stabilized] holds iff every slice stabilized; [utilization] is
+    capacity-weighted and [mean_extents_per_file] file-count-weighted. *)
+
+val run_sharded :
+  ?shards:int ->
+  ?instrument:bool ->
+  ?trace:bool ->
+  config ->
+  policy:(slice:int -> config -> Rofs_workload.Workload.t -> Rofs_alloc.Policy.t) ->
+  workload:Rofs_workload.Workload.t ->
+  sharded_report
+(** [run_sharded ~shards cfg ~policy ~workload] runs the throughput
+    protocol sharded [cfg.shard_slices] ways on [shards] domains
+    (default 1 — serial execution of the same decomposition).  [policy]
+    builds each slice's allocation policy from the slice index, the
+    slice's config (its seed and disk count) and its sub-workload —
+    {!Experiment.run_sharded} supplies the standard spec-based builder.
+    [instrument] attaches one sink per slice ([trace] additionally
+    records each slice's bounded event trace) and merges them.
+    @raise Invalid_argument if [shards < 1], [cfg] is invalid,
+    [cfg.shard_slices] exceeds [cfg.disks], or the workload is too small
+    to give every slice at least one file and user. *)
 
 val fail_drive : t -> drive:int -> unit
 (** Fail a drive explicitly (benchmarks; the fault plan does this by

@@ -50,6 +50,19 @@ let run_throughput ?config spec workload =
   let sequential = Engine.run_sequential_test engine in
   (application, sequential)
 
+(* Sharded throughput run: the per-slice policy builder mirrors
+   [make_engine] exactly — capacity sized to the slice's sub-array,
+   policy RNG seeded [slice seed + 0x5eed] — so a [shard_slices = 1]
+   sharded run is byte-identical to [run_throughput]. *)
+let run_sharded ?(config = Engine.default_config) ?shards ?instrument ?trace spec workload =
+  Engine.run_sharded ?shards ?instrument ?trace config
+    ~policy:(fun ~slice:_ (slice_cfg : Engine.config) _w ->
+      let unit_bytes = spec_unit_bytes spec in
+      let total_units = capacity_units slice_cfg ~unit_bytes in
+      let rng = Rofs_util.Rng.create ~seed:(slice_cfg.Engine.seed + 0x5eed) in
+      build_policy spec ~total_units ~rng)
+    ~workload
+
 type obs_run = {
   o_application : Engine.throughput_report;
   o_sequential : Engine.throughput_report;

@@ -42,6 +42,20 @@ val run_throughput :
   Engine.throughput_report * Engine.throughput_report
 (** Fill to N, then (application report, sequential report). *)
 
+val run_sharded :
+  ?config:Engine.config ->
+  ?shards:int ->
+  ?instrument:bool ->
+  ?trace:bool ->
+  policy_spec ->
+  Rofs_workload.Workload.t ->
+  Engine.sharded_report
+(** {!Engine.run_sharded} with the standard spec-based per-slice policy
+    builder (capacity sized to each slice's sub-array, policy RNG seeded
+    from the slice seed exactly as {!make_engine} does).  The merged
+    report is byte-identical at every [shards] count, and with
+    [config.shard_slices = 1] byte-identical to {!run_throughput}. *)
+
 type obs_run = {
   o_application : Engine.throughput_report;
   o_sequential : Engine.throughput_report;

@@ -1,73 +1,139 @@
-(* Classic array-backed binary heap.  The array stores (priority, value)
-   pairs; slot 0 is the root.  [size] tracks the live prefix so that pops
-   do not shrink the backing store. *)
+(* Classic array-backed binary min-heap, stored as two parallel arrays:
+   an unboxed float array for the priorities and a plain array for the
+   values.  Slot 0 is the root; [size] tracks the live prefix so that
+   pops do not shrink the backing store.
 
-type 'a entry = { prio : float; value : 'a }
+   The split layout is what makes the simulator's hot loop allocation
+   free: pushing stores a float into a flat float array and a pointer
+   into a value array (no (prio, value) entry record), and the
+   {!min_prio} / {!take_min} pair pops without building the
+   [Some (prio, value)] tuple that {!pop} returns.
 
-type 'a t = { mutable data : 'a entry array; mutable size : int }
+   The sift routines compare and swap exactly as the old entry-record
+   implementation did — same [<] comparisons in the same order — so the
+   order in which equal-priority elements surface is unchanged, which
+   the engine's frozen goldens depend on. *)
 
-let create () = { data = [||]; size = 0 }
+type 'a t = {
+  mutable prios : float array;
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create () = { prios = [||]; data = [||]; size = 0 }
 
 let length t = t.size
 
 let is_empty t = t.size = 0
 
-let grow t entry =
-  let capacity = Array.length t.data in
-  if t.size = capacity then begin
-    let fresh = Array.make (max 16 (2 * capacity)) entry in
-    Array.blit t.data 0 fresh 0 t.size;
-    t.data <- fresh
+(* Capacity grows lazily: the first pushed value seeds the fresh value
+   array (there is no dummy element), exactly as the old implementation
+   filled [Array.make] with the incoming entry. *)
+let reserve t value extra =
+  let capacity = Array.length t.prios in
+  if t.size + extra > capacity then begin
+    let fresh_cap = max 16 (max (t.size + extra) (2 * capacity)) in
+    let fresh_prios = Array.make fresh_cap 0. in
+    let fresh_data = Array.make fresh_cap value in
+    Array.blit t.prios 0 fresh_prios 0 t.size;
+    Array.blit t.data 0 fresh_data 0 t.size;
+    t.prios <- fresh_prios;
+    t.data <- fresh_data
   end
 
-let rec sift_up data i =
+let swap t i j =
+  let p = t.prios.(i) in
+  t.prios.(i) <- t.prios.(j);
+  t.prios.(j) <- p;
+  let v = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- v
+
+let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if data.(i).prio < data.(parent).prio then begin
-      let tmp = data.(i) in
-      data.(i) <- data.(parent);
-      data.(parent) <- tmp;
-      sift_up data parent
+    if t.prios.(i) < t.prios.(parent) then begin
+      swap t i parent;
+      sift_up t parent
     end
   end
 
-let rec sift_down data size i =
+let rec sift_down t i =
+  let size = t.size in
   let left = (2 * i) + 1 in
   let right = left + 1 in
-  let smallest = if left < size && data.(left).prio < data.(i).prio then left else i in
+  let smallest = if left < size && t.prios.(left) < t.prios.(i) then left else i in
   let smallest =
-    if right < size && data.(right).prio < data.(smallest).prio then right else smallest
+    if right < size && t.prios.(right) < t.prios.(smallest) then right else smallest
   in
   if smallest <> i then begin
-    let tmp = data.(i) in
-    data.(i) <- data.(smallest);
-    data.(smallest) <- tmp;
-    sift_down data size smallest
+    swap t i smallest;
+    sift_down t smallest
   end
 
 let push t ~prio value =
-  let entry = { prio; value } in
-  grow t entry;
-  t.data.(t.size) <- entry;
+  reserve t value 1;
+  t.prios.(t.size) <- prio;
+  t.data.(t.size) <- value;
   t.size <- t.size + 1;
-  sift_up t.data (t.size - 1)
+  sift_up t (t.size - 1)
 
-let peek t = if t.size = 0 then None else Some (t.data.(0).prio, t.data.(0).value)
+(* Batched insert for the completion bursts the queued dispatch path
+   generates (one event per drive an operation touched).  A small batch
+   landing on a large heap sifts each element up — the same work, and
+   the same equal-priority order, as pushing one at a time.  A batch
+   that dominates the heap (k >= size, e.g. re-seeding after a clear)
+   appends everything and rebuilds with one Floyd sift-down pass, O(n)
+   instead of O(k log n); the heap interface leaves equal-priority
+   order unspecified, and only this path may arrange ties differently
+   from sequential pushes. *)
+let push_batch t ~prios ~values len =
+  if len < 0 || len > Array.length prios || len > Array.length values then
+    invalid_arg "Heap.push_batch: bad length";
+  if len > 0 then begin
+    reserve t values.(0) len;
+    if len < t.size then
+      for i = 0 to len - 1 do
+        push t ~prio:prios.(i) values.(i)
+      done
+    else begin
+      Array.blit prios 0 t.prios t.size len;
+      Array.blit values 0 t.data t.size len;
+      t.size <- t.size + len;
+      for i = ((t.size - 2) / 2) downto 0 do
+        sift_down t i
+      done
+    end
+  end
+
+let peek t = if t.size = 0 then None else Some (t.prios.(0), t.data.(0))
+
+(* Non-allocating pop: read {!min_prio}, then {!take_min}. *)
+let min_prio t =
+  if t.size = 0 then invalid_arg "Heap.min_prio: empty heap";
+  t.prios.(0)
+
+let take_min t =
+  if t.size = 0 then invalid_arg "Heap.take_min: empty heap";
+  let root = t.data.(0) in
+  t.size <- t.size - 1;
+  t.prios.(0) <- t.prios.(t.size);
+  t.data.(0) <- t.data.(t.size);
+  if t.size > 0 then sift_down t 0;
+  root
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let root = t.data.(0) in
-    t.size <- t.size - 1;
-    t.data.(0) <- t.data.(t.size);
-    if t.size > 0 then sift_down t.data t.size 0;
-    Some (root.prio, root.value)
+    let prio = t.prios.(0) in
+    let value = take_min t in
+    Some (prio, value)
   end
 
 let clear t = t.size <- 0
 
 let to_sorted_list t =
-  let copy = { data = Array.sub t.data 0 t.size; size = t.size } in
+  let copy = { prios = Array.sub t.prios 0 t.size; data = Array.sub t.data 0 t.size; size = t.size } in
   let rec drain acc =
     match pop copy with
     | None -> List.rev acc

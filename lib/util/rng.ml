@@ -22,6 +22,17 @@ let create ~seed =
 
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
+let derive_seed ~seed ~stream =
+  (* Mix the pair through splitmix64 so that (seed, 0), (seed, 1), ...
+     land far apart even for adjacent seeds; the result is kept
+     positive so it can be fed back into [create] or stored in configs
+     that print seeds in decimal. *)
+  let state = ref (Int64.of_int seed) in
+  let a = splitmix64 state in
+  let state = ref (Int64.logxor a (Int64.of_int stream)) in
+  let b = splitmix64 state in
+  Int64.to_int (Int64.shift_right_logical b 1)
+
 let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
 let bits64 t =

@@ -18,6 +18,12 @@ val copy : t -> t
 (** [copy t] is an independent generator starting from [t]'s current
     state. *)
 
+val derive_seed : seed:int -> stream:int -> int
+(** [derive_seed ~seed ~stream] maps a (seed, stream-index) pair to a
+    fresh positive seed, a pure function of both arguments.  Used by the
+    sharded engine to give each shard its own decorrelated stream while
+    the whole family remains a function of the run's single seed. *)
+
 val split : t -> t
 (** [split t] derives a new generator from [t], advancing [t].  Streams of
     the parent and child are (statistically) independent; used to give each

@@ -224,3 +224,138 @@ let scaled t ~factor =
 let validate t =
   if t.types = [] then invalid_arg "Workload.validate: no file types";
   List.iter File_type.validate t.types
+
+(* Sharding support: split a workload into per-slice sub-workloads whose
+   file counts and user counts sum back to the original.  The split is a
+   pure function of the workload and the weight vector — the sharded
+   engine depends on that to produce identical decompositions (hence
+   identical results) at every execution width.
+
+   Files are placed byte-greedily, LPT style: types in descending mean
+   file size, each file onto the slice with the least assigned bytes
+   normalized by its weight (the slice's disk count).  Users follow
+   their type's files by largest-remainder apportionment, with two
+   deterministic fixups because [File_type.validate] requires every
+   emitted type to have both files and users: a slice holding files but
+   no users steals one from the slice richest in that type's users, and
+   when no slice can spare one (every holder has exactly one user) the
+   orphaned files fold into the lightest user-holding slice instead. *)
+let partition t ~weights =
+  let slices = Array.length weights in
+  if slices <= 0 then invalid_arg "Workload.partition: need at least one slice";
+  Array.iter
+    (fun w -> if w <= 0 then invalid_arg "Workload.partition: weights must be positive")
+    weights;
+  if slices = 1 then [| t |]
+  else begin
+    validate t;
+    let types = Array.of_list t.types in
+    let n = Array.length types in
+    let counts = Array.make_matrix n slices 0 in
+    let users = Array.make_matrix n slices 0 in
+    let loads = Array.make slices 0 in
+    (* Strictly lighter under per-weight normalization: loads.(i)/w_i <
+       loads.(j)/w_j, compared by cross-multiplication to stay exact. *)
+    let lighter i j = loads.(i) * weights.(j) < loads.(j) * weights.(i) in
+    (* Lowest-indexed minimal-load slice satisfying [pred], or -1. *)
+    let lightest_such pred =
+      let best = ref (-1) in
+      for i = slices - 1 downto 0 do
+        if pred i && (!best < 0 || not (lighter !best i)) then best := i
+      done;
+      !best
+    in
+    let order = Array.init n (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        let ba = types.(a).File_type.initial_mean_bytes
+        and bb = types.(b).File_type.initial_mean_bytes in
+        if ba <> bb then compare bb ba else compare a b)
+      order;
+    Array.iter
+      (fun ti ->
+        let ft = types.(ti) in
+        let mean = ft.File_type.initial_mean_bytes in
+        for _f = 1 to ft.File_type.count do
+          let s = lightest_such (fun _ -> true) in
+          counts.(ti).(s) <- counts.(ti).(s) + 1;
+          loads.(s) <- loads.(s) + mean
+        done;
+        (* Largest-remainder user apportionment over the file shares. *)
+        let ctot = ft.File_type.count in
+        let placed = ref 0 in
+        let rems = Array.make slices (-1) in
+        for s = 0 to slices - 1 do
+          if counts.(ti).(s) > 0 then begin
+            let q = ft.File_type.users * counts.(ti).(s) in
+            users.(ti).(s) <- q / ctot;
+            rems.(s) <- q mod ctot;
+            placed := !placed + (q / ctot)
+          end
+        done;
+        for _grant = 1 to ft.File_type.users - !placed do
+          let best = ref (-1) in
+          for s = slices - 1 downto 0 do
+            if rems.(s) >= 0 && (!best < 0 || rems.(s) >= rems.(!best)) then best := s
+          done;
+          if !best < 0 then begin
+            (* more grants than slices holding files (users >> count):
+               pile the rest onto the slice with the most files *)
+            let most = ref 0 in
+            for s = slices - 1 downto 0 do
+              if counts.(ti).(s) >= counts.(ti).(!most) then most := s
+            done;
+            users.(ti).(!most) <- users.(ti).(!most) + 1
+          end
+          else begin
+            users.(ti).(!best) <- users.(ti).(!best) + 1;
+            rems.(!best) <- -1
+          end
+        done;
+        (* Fixups, one ascending pass (neither repair can create a new
+           violation at a lower index). *)
+        for s = 0 to slices - 1 do
+          if counts.(ti).(s) > 0 && users.(ti).(s) = 0 then begin
+            let donor = ref 0 in
+            for d = slices - 1 downto 0 do
+              if users.(ti).(d) >= users.(ti).(!donor) then donor := d
+            done;
+            if users.(ti).(!donor) >= 2 then begin
+              users.(ti).(!donor) <- users.(ti).(!donor) - 1;
+              users.(ti).(s) <- users.(ti).(s) + 1
+            end
+            else begin
+              let tgt = lightest_such (fun k -> users.(ti).(k) > 0) in
+              if tgt < 0 then
+                invalid_arg "Workload.partition: type with files but no users";
+              let moved = counts.(ti).(s) * mean in
+              counts.(ti).(tgt) <- counts.(ti).(tgt) + counts.(ti).(s);
+              loads.(tgt) <- loads.(tgt) + moved;
+              loads.(s) <- loads.(s) - moved;
+              counts.(ti).(s) <- 0
+            end
+          end
+        done)
+      order;
+    let result =
+      Array.init slices (fun s ->
+          let tys = ref [] in
+          for ti = n - 1 downto 0 do
+            if counts.(ti).(s) > 0 then
+              tys :=
+                { (types.(ti)) with File_type.count = counts.(ti).(s); users = users.(ti).(s) }
+                :: !tys
+          done;
+          { t with types = !tys })
+    in
+    Array.iteri
+      (fun s w ->
+        if w.types = [] then
+          invalid_arg
+            (Printf.sprintf
+               "Workload.partition: workload %s is too small to populate %d slices (slice %d empty)"
+               t.name slices s);
+        validate w)
+      result;
+    result
+  end

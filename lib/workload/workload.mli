@@ -60,4 +60,19 @@ val scaled : t -> factor:float -> t
     type) — a cheap way to shrink a workload for fast tests while
     keeping its shape. *)
 
+val partition : t -> weights:int array -> t array
+(** [partition t ~weights] splits [t] into [Array.length weights]
+    sub-workloads whose per-type file and user counts sum back to [t]'s.
+    Files are spread byte-greedily (largest types first, each file to
+    the least-loaded slice normalized by its weight — in the sharded
+    engine the weight is the slice's disk count), users follow their
+    type's files by largest-remainder apportionment, and every emitted
+    type keeps [File_type.validate]'s invariant that files and users
+    appear together.  The split is a pure function of [(t, weights)],
+    with all ties broken toward the lowest slice index; types appear in
+    their original order within each slice.  [partition t
+    ~weights:[| w |]] returns [t] itself, unchanged.
+    @raise Invalid_argument if a weight is non-positive or [t] is too
+    small to give every slice at least one (file, user) pair. *)
+
 val validate : t -> unit

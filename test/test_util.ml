@@ -216,6 +216,74 @@ let prop_heap_sorts =
       let drained = List.map fst (Heap.to_sorted_list h) in
       drained = List.sort compare floats)
 
+let test_heap_min_prio_take_min () =
+  let h = Heap.create () in
+  check_bool "min_prio on empty raises" true
+    (match Heap.min_prio h with _ -> false | exception Invalid_argument _ -> true);
+  check_bool "take_min on empty raises" true
+    (match Heap.take_min h with _ -> false | exception Invalid_argument _ -> true);
+  List.iter (fun p -> Heap.push h ~prio:p (int_of_float p)) [ 5.; 1.; 4.; 2.; 3. ];
+  (* min_prio + take_min drains exactly like pop *)
+  let rec drain acc =
+    if Heap.is_empty h then List.rev acc
+    else begin
+      let p = Heap.min_prio h in
+      let v = Heap.take_min h in
+      drain ((p, v) :: acc)
+    end
+  in
+  check_bool "drain order" true
+    (drain [] = [ (1., 1); (2., 2); (3., 3); (4., 4); (5., 5) ])
+
+let test_heap_push_batch_basic () =
+  let h = Heap.create () in
+  (* a batch that dominates the heap takes the bulk-append path *)
+  Heap.push h ~prio:1. 1;
+  Heap.push_batch h ~prios:[| 5.; 3.; 4. |] ~values:[| 5; 3; 4 |] 3;
+  (* one that does not (2. undercuts the existing 3.) takes the
+     push-loop path *)
+  Heap.push_batch h ~prios:[| 2.; 6. |] ~values:[| 2; 6 |] 2;
+  (* len < array length inserts a prefix only *)
+  Heap.push_batch h ~prios:[| 0.5; 99. |] ~values:[| 0; 99 |] 1;
+  check_int "length" 7 (Heap.length h);
+  check_bool "drains sorted" true
+    (List.map snd (Heap.to_sorted_list h) = [ 0; 1; 2; 3; 4; 5; 6 ]);
+  check_bool "empty batch is a no-op" true
+    (Heap.push_batch h ~prios:[||] ~values:[||] 0;
+     Heap.length h = 7);
+  check_bool "oversized len raises" true
+    (match Heap.push_batch h ~prios:[| 1. |] ~values:[| 1; 2 |] 2 with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+(* Batched insertion interleaved with drains is observationally equal to
+   one-at-a-time pushes: same drained (prio, value) sequences.  Values
+   equal priorities so equal-priority ties (unspecified order) cannot
+   produce a false mismatch. *)
+let prop_heap_push_batch_equiv =
+  QCheck.Test.make ~name:"push_batch equals one-at-a-time pushes" ~count:200
+    QCheck.(list (pair (list_of_size Gen.(int_bound 12) (float_bound_inclusive 1000.)) (int_bound 5)))
+    (fun rounds ->
+      let batched = Heap.create () and reference = Heap.create () in
+      let drained_b = ref [] and drained_r = ref [] in
+      List.iter
+        (fun (batch, drains) ->
+          let prios = Array.of_list batch in
+          Heap.push_batch batched ~prios ~values:prios (Array.length prios);
+          Array.iter (fun p -> Heap.push reference ~prio:p p) prios;
+          for _ = 1 to drains do
+            if not (Heap.is_empty batched) then begin
+              let p = Heap.min_prio batched in
+              let v = Heap.take_min batched in
+              drained_b := (p, v) :: !drained_b;
+              drained_r := Option.get (Heap.pop reference) :: !drained_r
+            end
+          done)
+        rounds;
+      !drained_b = !drained_r
+      && List.map fst (Heap.to_sorted_list batched)
+         = List.map fst (Heap.to_sorted_list reference))
+
 (* ------------------------------------------------------------------ *)
 (* Stats *)
 
@@ -585,7 +653,10 @@ let () =
           quick "pop order (1000 random)" test_heap_pop_order;
           quick "interleaved push/pop" test_heap_interleaved;
           quick "clear" test_heap_clear;
+          quick "min_prio / take_min" test_heap_min_prio_take_min;
+          quick "push_batch paths" test_heap_push_batch_basic;
           QCheck_alcotest.to_alcotest prop_heap_sorts;
+          QCheck_alcotest.to_alcotest prop_heap_push_batch_equiv;
         ] );
       ( "stats",
         [
