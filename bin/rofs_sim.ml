@@ -29,11 +29,12 @@ let build_spec ~policy ~sizes ~grow ~clustered ~fit ~ranges ~block ~workload =
   | "lfs" -> C.Experiment.Log_structured (C.Log_structured.config ())
   | other -> invalid_arg (Printf.sprintf "unknown policy %S" other)
 
+(* Atomic (temp file + rename): a crash mid-write never leaves a torn
+   JSON document where a previous good one (or nothing) used to be. *)
 let write_json_file path doc =
-  let oc = open_out path in
-  C.Obs.Json.to_channel oc doc;
-  output_char oc '\n';
-  close_out oc
+  C.Ckpt.atomic_write path (fun oc ->
+      C.Obs.Json.to_channel oc doc;
+      output_char oc '\n')
 
 let write_trace_file path sink =
   match C.Sink.trace_ref sink with
@@ -131,7 +132,7 @@ let run_sweep ~config ~jobs ~seeds ~policy ~json ~metrics_file ~trace_file spec
    test/test_speed.ml — so --shards only changes the wall clock; the
    CI speed-smoke job cmps the --json output across shard counts. *)
 let run_sharded_cli ~config ~shards ~policy ~test ~json ~metrics_file ~trace_file
-    ~record_file spec (workload : C.Workload.t) =
+    ~record_file ~ckpt_every ~ckpt_file ~resume_file spec (workload : C.Workload.t) =
   let ch = if json then stderr else stdout in
   if record_file <> "" then
     prerr_endline "rofs_sim: --record is ignored with --shards (sharded runs record no trace)";
@@ -143,11 +144,29 @@ let run_sharded_cli ~config ~shards ~policy ~test ~json ~metrics_file ~trace_fil
     if test = All || test = Alloc then Some (C.Experiment.run_allocation ~config spec workload)
     else None
   in
+  (* Per-slice snapshots: slice i of FILE lives at FILE.i (a slice is a
+     complete serial engine, so each resumes independently). *)
+  let slice_path base slice = Printf.sprintf "%s.%d" base slice in
+  let ckpt_every_ms = if ckpt_every > 0. then Some ckpt_every else None in
+  let ckpt_save =
+    if ckpt_file = "" then None
+    else Some (fun ~slice sections -> C.Ckpt.save_file (slice_path ckpt_file slice) sections)
+  in
+  let ckpt_resume =
+    if resume_file = "" then None
+    else
+      Some
+        (fun ~slice ->
+          let path = slice_path resume_file slice in
+          match C.Ckpt.load_file path with
+          | Ok sections -> Some sections
+          | Error msg -> invalid_arg (Printf.sprintf "%s: %s" path msg))
+  in
   let sharded =
     if test = All || test = Throughput then
       Some
         (C.Experiment.run_sharded ~config ~shards ~instrument:instrumented
-           ~trace:(trace_file <> "") spec workload)
+           ~trace:(trace_file <> "") ?ckpt_every_ms ?ckpt_save ?ckpt_resume spec workload)
     else None
   in
   let application = Option.map (fun (r : C.Engine.sharded_report) -> r.C.Engine.s_application) sharded in
@@ -224,7 +243,7 @@ let run_replay ~config ~workload ~policy ~json ~metrics_file ~replay_file ~recor
 let run policy sizes grow unclustered fit ranges block workload_name test seed seeds jobs
     shards readahead scheduler layout scale cache_mb cache_policy cache_write mttf mttr
     media_error_rate rebuild_rate measure_ms json trace_file metrics_file replay_file
-    record_file =
+    record_file ckpt_every ckpt_file resume_file =
   match C.Workload.by_name workload_name with
   | None ->
       Printf.eprintf "unknown workload %S (expected ts, tp or sc)\n" workload_name;
@@ -273,6 +292,24 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed s
         }
       in
       C.Engine.validate_config ?shards config;
+      (* Checkpointing composes with the stochastic throughput protocol
+         only: replay and recording engines hold closures a snapshot
+         cannot capture, a --seeds sweep is many runs, and the
+         allocation test is a single unresumable sweep.  Conflicts are
+         refused up front on the one-line exit-2 path. *)
+      let checkpointing = ckpt_every > 0. || ckpt_file <> "" || resume_file <> "" in
+      if checkpointing then begin
+        if ckpt_every > 0. && ckpt_file = "" then
+          invalid_arg "--checkpoint-every needs --checkpoint FILE";
+        if replay_file <> "" then
+          invalid_arg "--replay cannot be combined with checkpoint/resume flags";
+        if record_file <> "" then
+          invalid_arg "--record cannot be combined with checkpoint/resume flags";
+        if seeds <> [] then
+          invalid_arg "--seeds cannot be combined with checkpoint/resume flags";
+        if test = Alloc then
+          invalid_arg "--test alloc is not resumable (checkpointing covers the throughput protocol)"
+      end;
       if replay_file <> "" then begin
         if seeds <> [] then
           prerr_endline "rofs_sim: --seeds is ignored with --replay (one trace, one run)";
@@ -296,7 +333,7 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed s
         match shards with
         | Some shards ->
             run_sharded_cli ~config ~shards ~policy ~test ~json ~metrics_file ~trace_file
-              ~record_file spec workload
+              ~record_file ~ckpt_every ~ckpt_file ~resume_file spec workload
         | None -> begin
         let ch = if json then stderr else stdout in
         let instrumented = json || metrics_file <> "" || trace_file <> "" in
@@ -328,6 +365,17 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed s
                 ~config spec workload
             in
             Option.iter (C.Engine.attach_obs engine) sink;
+            (* Arm before restoring: Engine.restore replaces the event
+               heap wholesale, so the snapshot's own tick chain (and
+               cadence) wins over the freshly armed one — a resumed run
+               checkpoints at exactly the times the original would. *)
+            if ckpt_every > 0. then
+              C.Engine.set_checkpoint engine ~every_ms:ckpt_every (fun () ->
+                  C.Ckpt.save_file ckpt_file (C.Engine.checkpoint engine));
+            (if resume_file <> "" then
+               match C.Ckpt.load_file resume_file with
+               | Ok sections -> C.Engine.restore engine sections
+               | Error msg -> invalid_arg (Printf.sprintf "%s: %s" resume_file msg));
             C.Engine.fill_to_lower_bound engine;
             let app = C.Engine.run_application_test engine in
             (* The sequential test re-reads whole files; the recorded
@@ -335,6 +383,10 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed s
                the window the replay bench verifies against. *)
             C.Engine.set_recorder engine None;
             let seq = C.Engine.run_sequential_test engine in
+            (* Final snapshot: a completed run resumes instantly (both
+               reports are stored in the snapshot). *)
+            if ckpt_file <> "" then
+              C.Ckpt.save_file ckpt_file (C.Engine.checkpoint engine);
             let faults_seen =
               if C.Fault_plan.enabled faults then Some (C.Engine.fault_report engine) else None
             in
@@ -593,6 +645,37 @@ let record_arg =
          application test; with $(b,--replay) it writes the trace back out as executed, \
          a normalized copy that replays bit-identically.")
 
+let ckpt_every_arg =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "checkpoint-every" ] ~docv:"MS"
+      ~doc:
+        "Write a crash-safe snapshot to the $(b,--checkpoint) file every $(docv) of \
+         simulated time.  Snapshots are written atomically (temp file + rename), so a \
+         crash mid-write leaves the previous good snapshot intact.  A resumed run is \
+         bit-identical to the same run left uninterrupted at the same cadence.")
+
+let ckpt_file_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "checkpoint" ] ~docv:"FILE"
+      ~doc:
+        "Snapshot destination for $(b,--checkpoint-every); without it, write a single \
+         snapshot when the run completes.  With $(b,--shards), slice $(i,i) lands at \
+         $(docv).$(i,i).  Incompatible with $(b,--replay), $(b,--record), $(b,--seeds) \
+         and $(b,--test alloc).")
+
+let resume_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "resume" ] ~docv:"FILE"
+      ~doc:
+        "Resume from a snapshot written by $(b,--checkpoint).  The command line must \
+         rebuild the same configuration (seed, policy, workload, array, cache, faults); \
+         a mismatched or corrupt snapshot is refused with a one-line error, exit 2.  \
+         With $(b,--shards), slice $(i,i) resumes from $(docv).$(i,i).")
+
 let cmd =
   let doc = "simulate read-optimized file system allocation policies (Seltzer & Stonebraker 1991)" in
   Cmd.v
@@ -602,7 +685,8 @@ let cmd =
       $ block_arg $ workload_arg $ test_arg $ seed_arg $ seeds_arg $ jobs_arg $ shards_arg
       $ readahead_arg $ scheduler_arg $ layout_arg $ scale_arg $ cache_mb_arg $ cache_policy_arg
       $ cache_write_arg $ mttf_arg $ mttr_arg $ media_error_rate_arg $ rebuild_rate_arg
-      $ measure_ms_arg $ json_arg $ trace_arg $ metrics_arg $ replay_arg $ record_arg)
+      $ measure_ms_arg $ json_arg $ trace_arg $ metrics_arg $ replay_arg $ record_arg
+      $ ckpt_every_arg $ ckpt_file_arg $ resume_arg)
 
 let usage_hint =
   "usage: rofs_sim [--policy P] [-w ts|tp|sc] [--layout L] [--scheduler S] [--test T] \

@@ -161,6 +161,19 @@ let create config ~total_units =
     let rec scan k = if k < 0 then 0 else if IntSet.is_empty t.free.(k) then scan (k - 1) else order_size k in
     scan t.max_order
   in
+  (* Checkpoint: free sets are functional values (assign), the file
+     table is lookup-only (never folded), so re-adding its marshalled
+     twin's bindings restores behaviour exactly. *)
+  let ckpt_save () = Marshal.to_string (t.free, t.free_units, t.files) [] in
+  let ckpt_load blob =
+    let free, free_units, files =
+      (Marshal.from_string blob 0 : IntSet.t array * int * (int, file) Hashtbl.t)
+    in
+    Array.iteri (fun i s -> t.free.(i) <- s) free;
+    t.free_units <- free_units;
+    Hashtbl.reset t.files;
+    Hashtbl.iter (fun k v -> Hashtbl.replace t.files k v) files
+  in
   {
     Policy.name = "buddy";
     unit_bytes = config.unit_bytes;
@@ -176,4 +189,6 @@ let create config ~total_units =
     slice = (fun ~file ~off ~len -> File_extents.slice (the_file file).fx ~off ~len);
     free_units = (fun () -> t.free_units);
     largest_free;
+    ckpt_save;
+    ckpt_load;
   }

@@ -153,6 +153,22 @@ let create cfg ~total_units ~rng =
       (match cfg.fit with First_fit -> "first-fit" | Best_fit -> "best-fit")
       (List.length cfg.range_means_bytes)
   in
+  (* Checkpoint: tree and by_size are functional (assign); the RNG is
+     aliased by the engine's policy builder, so restore it in place. *)
+  let ckpt_save () =
+    Marshal.to_string (t.tree, t.by_size, t.files, Rofs_util.Rng.copy t.rng) []
+  in
+  let ckpt_load blob =
+    let tree, by_size, files, rng =
+      (Marshal.from_string blob 0
+        : Free_tree.t * Size_set.t * (int, file) Hashtbl.t * Rofs_util.Rng.t)
+    in
+    t.tree <- tree;
+    t.by_size <- by_size;
+    Hashtbl.reset t.files;
+    Hashtbl.iter (fun k v -> Hashtbl.replace t.files k v) files;
+    Rofs_util.Rng.assign ~dst:t.rng ~src:rng
+  in
   {
     Policy.name;
     unit_bytes = cfg.unit_bytes;
@@ -168,4 +184,6 @@ let create cfg ~total_units ~rng =
     slice = (fun ~file ~off ~len -> File_extents.slice (the_file file).fx ~off ~len);
     free_units = (fun () -> Free_tree.total_len t.tree);
     largest_free = (fun () -> Free_tree.max_len t.tree);
+    ckpt_save;
+    ckpt_load;
   }

@@ -65,6 +65,19 @@ let create cfg ~total_units ~rng =
     File_extents.iter f.fx (fun e -> Queue.add e.Extent.addr free_list);
     Hashtbl.remove files file
   in
+  (* Checkpoint: the free list's FIFO order IS the allocation order, so
+     restore transfers the marshalled twin element by element (Queue
+     marshalling preserves order); the file table is lookup-only. *)
+  let ckpt_save () = Marshal.to_string (free_list, files) [] in
+  let ckpt_load blob =
+    let twin_free, twin_files =
+      (Marshal.from_string blob 0 : int Queue.t * (int, file) Hashtbl.t)
+    in
+    Queue.clear free_list;
+    Queue.transfer twin_free free_list;
+    Hashtbl.reset files;
+    Hashtbl.iter (fun k v -> Hashtbl.replace files k v) twin_files
+  in
   {
     Policy.name = Printf.sprintf "fixed(%s)" (Rofs_util.Units.to_string cfg.block_bytes);
     unit_bytes = cfg.unit_bytes;
@@ -80,4 +93,6 @@ let create cfg ~total_units ~rng =
     slice = (fun ~file ~off ~len -> File_extents.slice (the_file file).fx ~off ~len);
     free_units = (fun () -> Queue.length free_list * block_units);
     largest_free = (fun () -> if Queue.is_empty free_list then 0 else block_units);
+    ckpt_save;
+    ckpt_load;
   }

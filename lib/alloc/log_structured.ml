@@ -265,6 +265,26 @@ let create cfg ~total_units =
     File_extents.iter f.fx (fun e -> retire_extent t e);
     Hashtbl.remove t.files file
   in
+  (* Checkpoint: the cleaner folds over each segment's [residents]
+     table, so restore must reproduce the exact bucket layout — element-
+     assigning the marshalled twin segments does (Marshal round-trips a
+     Hashtbl's internal structure verbatim).  The file table itself is
+     lookup-only and re-adds safely. *)
+  let ckpt_save () =
+    Marshal.to_string (t.segments, t.head, t.clean, t.dirty, t.files) []
+  in
+  let ckpt_load blob =
+    let segments, head, clean, dirty, files =
+      (Marshal.from_string blob 0
+        : segment array * int * IntSet.t * Dirty_set.t * (int, file) Hashtbl.t)
+    in
+    Array.iteri (fun i sg -> t.segments.(i) <- sg) segments;
+    t.head <- head;
+    t.clean <- clean;
+    t.dirty <- dirty;
+    Hashtbl.reset t.files;
+    Hashtbl.iter (fun k v -> Hashtbl.replace t.files k v) files
+  in
   {
     Policy.name =
       Printf.sprintf "log-structured(%s segments)" (Rofs_util.Units.to_string cfg.segment_bytes);
@@ -281,4 +301,6 @@ let create cfg ~total_units =
     slice = (fun ~file ~off ~len -> File_extents.slice (the_file file).fx ~off ~len);
     free_units = (fun () -> free_units t);
     largest_free = (fun () -> max (head_space t) (if IntSet.is_empty t.clean then 0 else t.seg_units));
+    ckpt_save;
+    ckpt_load;
   }

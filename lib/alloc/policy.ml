@@ -13,6 +13,8 @@ type t = {
   slice : file:int -> off:int -> len:int -> Extent.t list;
   free_units : unit -> int;
   largest_free : unit -> int;
+  ckpt_save : unit -> string;
+  ckpt_load : string -> unit;
 }
 
 let allocated_total t ~files =

@@ -37,6 +37,18 @@ type t = {
   free_units : unit -> int;
   largest_free : unit -> int;
       (** Largest contiguous piece the policy could hand out right now. *)
+  ckpt_save : unit -> string;
+      (** Opaque serialization of the policy's complete mutable state
+          (free structures, per-file extent maps, internal RNG streams),
+          for checkpointing.  Loading the string back with {!ckpt_load}
+          on a policy built from the same config restores behaviour bit
+          for bit — including iteration order of any internal hash
+          tables whose fold order shapes allocation decisions. *)
+  ckpt_load : string -> unit;
+      (** Restore state produced by this policy shape's [ckpt_save],
+          mutating in place.  Feeding it a blob from a different policy
+          or config is undefined (the engine guards against this with a
+          config fingerprint before calling). *)
 }
 
 val allocated_total : t -> files:int list -> int

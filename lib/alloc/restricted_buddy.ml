@@ -346,6 +346,22 @@ let create cfg ~total_units =
     Printf.sprintf "restricted-buddy(%d sizes, g=%d, %s)" (top + 1) cfg.grow_factor
       (if cfg.clustered then "clustered" else "unclustered")
   in
+  (* Checkpoint: free sets assign element-wise; the file table is
+     lookup-only, so re-adding the marshalled twin's bindings is exact. *)
+  let ckpt_save () =
+    Marshal.to_string (t.free, t.free_units, t.files, t.next_fd_region) []
+  in
+  let ckpt_load blob =
+    let free, free_units, files, next_fd_region =
+      (Marshal.from_string blob 0
+        : IntSet.t array * int * (int, file) Hashtbl.t * int)
+    in
+    Array.iteri (fun i s -> t.free.(i) <- s) free;
+    t.free_units <- free_units;
+    Hashtbl.reset t.files;
+    Hashtbl.iter (fun k v -> Hashtbl.replace t.files k v) files;
+    t.next_fd_region <- next_fd_region
+  in
   {
     Policy.name;
     unit_bytes = cfg.unit_bytes;
@@ -361,4 +377,6 @@ let create cfg ~total_units =
     slice = (fun ~file ~off ~len -> File_extents.slice (the_file file).fx ~off ~len);
     free_units = (fun () -> t.free_units);
     largest_free;
+    ckpt_save;
+    ckpt_load;
   }

@@ -350,6 +350,83 @@ let truncate_file t ~file ~logical =
   | Some next when next * pb > logical -> Hashtbl.remove t.seq_next file
   | _ -> ()
 
+(* Checkpoint.  No result path iterates a hash table (coalesce sorts;
+   flush scans frames), so re-adding the marshalled twins' bindings
+   restores behaviour exactly; [free] is a LIFO list whose order IS the
+   frame-claim order and survives marshalling verbatim; the replacement
+   policy snapshots itself. *)
+type ckpt = {
+  k_repl : string;
+  k_frame_file : int array;
+  k_frame_page : int array;
+  k_frame_dirty : bool array;
+  k_index : (int * int, int) Hashtbl.t;
+  k_resident : (int, int) Hashtbl.t;
+  k_seq_next : (int, int) Hashtbl.t;
+  k_unused : int;
+  k_free : int list;
+  k_dirty : int;
+  k_counters : int array;
+  k_type_hits : int array;
+  k_type_misses : int array;
+}
+
+let ckpt_save t =
+  Marshal.to_string
+    {
+      k_repl = Replacement.save t.repl;
+      k_frame_file = t.frame_file;
+      k_frame_page = t.frame_page;
+      k_frame_dirty = t.frame_dirty;
+      k_index = t.index;
+      k_resident = t.resident;
+      k_seq_next = t.seq_next;
+      k_unused = t.unused;
+      k_free = t.free;
+      k_dirty = t.dirty;
+      k_counters =
+        [|
+          t.s_hits; t.s_misses; t.s_hit_bytes; t.s_insertions; t.s_evictions;
+          t.s_dirty_evictions; t.s_flushes; t.s_writeback_bytes; t.s_prefetched;
+          t.s_invalidations;
+        |];
+      k_type_hits = t.type_hits;
+      k_type_misses = t.type_misses;
+    }
+    []
+
+let ckpt_load t blob =
+  let k = (Marshal.from_string blob 0 : ckpt) in
+  Replacement.load t.repl k.k_repl;
+  Array.blit k.k_frame_file 0 t.frame_file 0 (Array.length t.frame_file);
+  Array.blit k.k_frame_page 0 t.frame_page 0 (Array.length t.frame_page);
+  Array.blit k.k_frame_dirty 0 t.frame_dirty 0 (Array.length t.frame_dirty);
+  let refill dst src =
+    Hashtbl.reset dst;
+    Hashtbl.iter (fun key v -> Hashtbl.replace dst key v) src
+  in
+  refill t.index k.k_index;
+  refill t.resident k.k_resident;
+  refill t.seq_next k.k_seq_next;
+  t.unused <- k.k_unused;
+  t.free <- k.k_free;
+  t.dirty <- k.k_dirty;
+  (match k.k_counters with
+  | [| h; m; hb; ins; ev; dev; fl; wb; pf; inv |] ->
+      t.s_hits <- h;
+      t.s_misses <- m;
+      t.s_hit_bytes <- hb;
+      t.s_insertions <- ins;
+      t.s_evictions <- ev;
+      t.s_dirty_evictions <- dev;
+      t.s_flushes <- fl;
+      t.s_writeback_bytes <- wb;
+      t.s_prefetched <- pf;
+      t.s_invalidations <- inv
+  | _ -> invalid_arg "Cache.ckpt_load: counter shape mismatch");
+  Array.blit k.k_type_hits 0 t.type_hits 0 (Array.length t.type_hits);
+  Array.blit k.k_type_misses 0 t.type_misses 0 (Array.length t.type_misses)
+
 let stats t =
   {
     lookups = t.s_hits + t.s_misses;

@@ -121,6 +121,16 @@ val invalidate_file : t -> file:int -> unit
 val truncate_file : t -> file:int -> logical:int -> unit
 (** Drop pages wholly past the new [logical] size. *)
 
+val ckpt_save : t -> string
+(** Opaque snapshot of the cache's entire mutable state — frames, page
+    index, replacement-policy ordering, dirty tracking and counters —
+    for checkpoint/restore. *)
+
+val ckpt_load : t -> string -> unit
+(** Restore a {!ckpt_save} snapshot into [t], in place.  [t] must have
+    been built from the same config (same frame count, page size,
+    policy); the engine validates this with a config fingerprint. *)
+
 (** {1 Statistics} *)
 
 type stats = {

@@ -6,6 +6,8 @@ module type S = sig
   val on_hit : t -> int -> unit
   val victim : t -> int
   val on_remove : t -> int -> unit
+  val save : t -> string
+  val load : t -> string -> unit
 end
 
 let check_capacity capacity =
@@ -55,6 +57,17 @@ module Lru = struct
     f
 
   let on_remove t f = unlink t f
+
+  let save t = Marshal.to_string (t.prev, t.next, t.head, t.tail) []
+
+  let load t blob =
+    let prev, next, head, tail =
+      (Marshal.from_string blob 0 : int array * int array * int * int)
+    in
+    Array.blit prev 0 t.prev 0 (Array.length t.prev);
+    Array.blit next 0 t.next 0 (Array.length t.next);
+    t.head <- head;
+    t.tail <- tail
 end
 
 module Clock = struct
@@ -106,6 +119,16 @@ module Clock = struct
   let on_remove t f =
     t.tracked.(f) <- false;
     t.referenced.(f) <- false
+
+  let save t = Marshal.to_string (t.tracked, t.referenced, t.hand) []
+
+  let load t blob =
+    let tracked, referenced, hand =
+      (Marshal.from_string blob 0 : bool array * bool array * int)
+    in
+    Array.blit tracked 0 t.tracked 0 (Array.length t.tracked);
+    Array.blit referenced 0 t.referenced 0 (Array.length t.referenced);
+    t.hand <- hand
 end
 
 (* Simplified 2Q: two intrusive lists over the same prev/next arrays,
@@ -199,6 +222,23 @@ module Two_q = struct
     f
 
   let on_remove t f = unlink t f
+
+  let save t =
+    Marshal.to_string (t.prev, t.next, t.where, t.a1_head, t.a1_tail, t.a1_len, t.am_head, t.am_tail) []
+
+  let load t blob =
+    let prev, next, where, a1_head, a1_tail, a1_len, am_head, am_tail =
+      (Marshal.from_string blob 0
+        : int array * int array * queue array * int * int * int * int * int)
+    in
+    Array.blit prev 0 t.prev 0 (Array.length t.prev);
+    Array.blit next 0 t.next 0 (Array.length t.next);
+    Array.blit where 0 t.where 0 (Array.length t.where);
+    t.a1_head <- a1_head;
+    t.a1_tail <- a1_tail;
+    t.a1_len <- a1_len;
+    t.am_head <- am_head;
+    t.am_tail <- am_tail
 end
 
 type t = Instance : (module S with type t = 'a) * 'a -> t
@@ -213,3 +253,5 @@ let on_insert (Instance ((module M), s)) f = M.on_insert s f
 let on_hit (Instance ((module M), s)) f = M.on_hit s f
 let victim (Instance ((module M), s)) = M.victim s
 let on_remove (Instance ((module M), s)) f = M.on_remove s f
+let save (Instance ((module M), s)) = M.save s
+let load (Instance ((module M), s)) blob = M.load s blob

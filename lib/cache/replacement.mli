@@ -30,6 +30,13 @@ module type S = sig
   (** Chooses, untracks and returns the sacrificial frame. *)
 
   val on_remove : t -> int -> unit
+
+  val save : t -> string
+  (** Opaque snapshot of the policy's ordering state. *)
+
+  val load : t -> string -> unit
+  (** Restore a {!save} snapshot in place; the instance must have the
+      same capacity the snapshot was taken at. *)
 end
 
 module Lru : S
@@ -55,3 +62,5 @@ val on_insert : t -> int -> unit
 val on_hit : t -> int -> unit
 val victim : t -> int
 val on_remove : t -> int -> unit
+val save : t -> string
+val load : t -> string -> unit

@@ -115,6 +115,15 @@ module Engine = Rofs_sim.Engine
 module Report = Rofs_sim.Report
 module Experiment = Rofs_sim.Experiment
 
+(** {1 Checkpoint / restore}
+
+    Crash-safe snapshot container: versioned, per-section CRC-checked,
+    written atomically (temp file + rename).  [Engine.checkpoint] /
+    [Engine.restore] serialize the full engine state into it so a
+    resumed run is bit-identical to one left uninterrupted. *)
+
+module Ckpt = Rofs_ckpt.Ckpt
+
 (** {1 Trace replay} *)
 
 module Trace_codec = Rofs_trace_replay.Codec

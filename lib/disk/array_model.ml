@@ -900,6 +900,36 @@ let utilization t ~now =
 
 let bytes_moved t = t.bytes_moved
 
+(* Checkpoint.  Drives, dispatch queues and in-service slots go in ONE
+   Marshal blob: queued requests share their [op] records (and an
+   in-service request shares its op with still-queued siblings), and
+   Marshal preserves sharing within a single blob, so completions after
+   restore decrement the same [chunks_left] the originals did.  The
+   engine references operations only by integer id, never by pointer,
+   so rebuilt op records need no external fix-up.  The fault state is
+   checkpointed separately ({!Fault.ckpt_save}); the scratch buffers
+   are dead between events and simply reset. *)
+let ckpt_save t =
+  Marshal.to_string
+    (t.drives, Rofs_util.Rng.copy t.rng, t.bytes_moved, t.queues, t.in_service, t.next_op_id)
+    []
+
+let ckpt_load t blob =
+  let drives, rng, bytes_moved, queues, in_service, next_op_id =
+    (Marshal.from_string blob 0
+      : Drive.t array * Rofs_util.Rng.t * int * req Squeue.t array * req option array * int)
+  in
+  Array.iteri (fun i d -> t.drives.(i) <- d) drives;
+  Rofs_util.Rng.assign ~dst:t.rng ~src:rng;
+  t.bytes_moved <- bytes_moved;
+  Array.iteri (fun i q -> t.queues.(i) <- q) queues;
+  Array.blit in_service 0 t.in_service 0 (Array.length t.in_service);
+  t.next_op_id <- next_op_id;
+  t.cb_len <- 0;
+  t.db_len <- 0;
+  t.touched_len <- 0;
+  Array.fill t.touched_mark 0 (Array.length t.touched_mark) false
+
 let reset t =
   Array.iter Drive.reset t.drives;
   Array.iter Squeue.clear t.queues;

@@ -269,6 +269,18 @@ val bytes_moved : t -> int
 (** Total data bytes transferred (excludes mirror copies and parity
     traffic). *)
 
+val ckpt_save : t -> string
+(** Opaque snapshot of the array's mutable state: drive clocks and
+    statistics, dispatch queues, in-service requests (with their shared
+    operation records), the service RNG and the data-byte counter.  The
+    fault state is snapshotted separately via {!fault_state} and
+    {!Rofs_fault.State.ckpt_save}. *)
+
+val ckpt_load : t -> string -> unit
+(** Restore a {!ckpt_save} snapshot into [t], in place.  [t] must have
+    been built with the same geometry, disk count, scheduler and
+    config; the engine validates this with a config fingerprint. *)
+
 val reset : t -> unit
 (** Reset every drive's clock, arm and statistics. *)
 

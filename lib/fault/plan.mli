@@ -77,4 +77,12 @@ val pop : t -> (float * action) option
     the stream never ends.  [None] once a scripted plan is exhausted or
     when drive faults are disabled. *)
 
+val ckpt_save : t -> string
+(** Opaque snapshot of the generator's cursor (remaining script,
+    per-drive RNG streams, upcoming per-drive events). *)
+
+val ckpt_load : t -> string -> unit
+(** Restore a snapshot taken by {!ckpt_save} into [t], in place.  [t]
+    must have been built from the same config and drive count. *)
+
 val pp_action : Format.formatter -> action -> unit

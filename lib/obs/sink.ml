@@ -128,6 +128,67 @@ let drive_queue_depth t d =
 
 let trace_ref t = t.trace
 
+(* Checkpoint.  The engine's recorder closures and reporters alias the
+   six histograms and the trace ring, so those restore in place; the
+   drives array is only reached through [t] and swaps wholesale. *)
+let ckpt_save t =
+  Marshal.to_string
+    ( t.latency,
+      t.queue_wait,
+      t.seek,
+      t.rotation,
+      t.transfer,
+      t.fault_penalty,
+      t.drives,
+      ( t.cache_hits,
+        t.cache_misses,
+        t.cache_evictions,
+        t.cache_prefetched,
+        t.cache_flushes,
+        t.cache_flushed_bytes ),
+      t.trace )
+    []
+
+let ckpt_load t blob =
+  let ( latency,
+        queue_wait,
+        seek,
+        rotation,
+        transfer,
+        fault_penalty,
+        drives,
+        (cache_hits, cache_misses, cache_evictions, cache_prefetched, cache_flushes, cache_flushed_bytes),
+        trace ) =
+    (Marshal.from_string blob 0
+      : Hist.t
+        * Hist.t
+        * Hist.t
+        * Hist.t
+        * Hist.t
+        * Hist.t
+        * drive_stats array
+        * (int * int * int * int * int * int)
+        * Trace.t option)
+  in
+  Hist.ckpt_restore ~dst:t.latency ~src:latency;
+  Hist.ckpt_restore ~dst:t.queue_wait ~src:queue_wait;
+  Hist.ckpt_restore ~dst:t.seek ~src:seek;
+  Hist.ckpt_restore ~dst:t.rotation ~src:rotation;
+  Hist.ckpt_restore ~dst:t.transfer ~src:transfer;
+  Hist.ckpt_restore ~dst:t.fault_penalty ~src:fault_penalty;
+  t.drives <- drives;
+  t.cache_hits <- cache_hits;
+  t.cache_misses <- cache_misses;
+  t.cache_evictions <- cache_evictions;
+  t.cache_prefetched <- cache_prefetched;
+  t.cache_flushes <- cache_flushes;
+  t.cache_flushed_bytes <- cache_flushed_bytes;
+  match (t.trace, trace) with
+  | None, None -> ()
+  | Some dst, Some src -> Trace.ckpt_restore ~dst ~src
+  | Some _, None | None, Some _ ->
+      invalid_arg "Sink.ckpt_load: trace configuration mismatch"
+
 let merge a b =
   let drives =
     let n = max (Array.length a.drives) (Array.length b.drives) in

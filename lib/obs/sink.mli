@@ -94,6 +94,15 @@ val merge : t -> t -> t
 (** Fresh sink combining both; neither argument is mutated.  Traces
     merge when present on either side (capacity = max of the two). *)
 
+val ckpt_save : t -> string
+(** Opaque snapshot of every histogram, per-drive counter, cache
+    counter and the trace ring, for checkpoint/restore. *)
+
+val ckpt_load : t -> string -> unit
+(** Restore a {!ckpt_save} snapshot into [t], in place (aliases to the
+    histograms and trace ring stay valid).  Raises [Invalid_argument]
+    when tracing configuration differs from the snapshot's. *)
+
 (** {1 Serialization} *)
 
 val hist_json : Hist.t -> Json.t

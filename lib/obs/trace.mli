@@ -61,6 +61,10 @@ val events : t -> event list
 val merge_into : t -> t -> unit
 (** [merge_into dst src] records all of [src]'s events into [dst]. *)
 
+val ckpt_restore : dst:t -> src:t -> unit
+(** Overwrite [dst]'s ring and cursors with [src]'s, in place.  Raises
+    [Invalid_argument] on a capacity mismatch. *)
+
 val to_jsonl : t -> string
 (** One compact JSON object per event, one per line, timestamp order. *)
 

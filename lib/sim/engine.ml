@@ -150,13 +150,14 @@ type user = {
   mutable park : waiter;  (** this user's pooled [User_waiter] cell *)
 }
 
-(* The event heap holds six event kinds: a user whose think time
+(* The event heap holds seven event kinds: a user whose think time
    expired (perform its next operation); on the dispatch-queue path, a
    drive whose in-service request finishes at the event's time; the next
    scripted or drawn drive fail/repair from the fault plan; the next
    background rebuild I/O of a resynchronising drive; the buffer
-   cache's periodic dirty-page flush (write-back mode only); and, on a
-   replay engine, the arrival of the next trace event. *)
+   cache's periodic dirty-page flush (write-back mode only); on a
+   replay engine, the arrival of the next trace event; and, when
+   checkpointing is armed, the periodic snapshot tick. *)
 and event =
   | Wake of user
   | Drive_done of int
@@ -164,6 +165,7 @@ and event =
   | Rebuild_tick of int
   | Flush_tick
   | Replay_tick
+  | Ckpt_tick
 
 (* What a queued-path operation completion unblocks: a user's think
    time, the next chunk of a drive's rebuild sweep (not before
@@ -236,6 +238,27 @@ type replay_outcome = {
   rp_io_ops : int;
 }
 
+(* Loop state of the fill and measurement phases, hoisted out of the
+   runners' locals so a checkpoint can capture it and a restored engine
+   can re-enter the phase mid-loop.  Keeping it here unconditionally
+   costs nothing: the arithmetic is identical to the old locals, so the
+   goldens are untouched. *)
+type fill_state = {
+  mutable fs_ops_at_start : int;
+  mutable fs_best_used : int;
+  mutable fs_fails : int;  (** failed allocations since the last net growth *)
+}
+
+type meas_state = {
+  mutable ms_start : float;
+  mutable ms_io_at_start : int;
+  mutable ms_fulls_at_start : int;
+  mutable ms_meta_at_start : int;
+  mutable ms_series : Stats.Series.t;
+  mutable ms_next_checkpoint : float;
+  mutable ms_checkpoints : int;
+}
+
 type t = {
   cfg : config;
   workload : Workload.t;
@@ -288,6 +311,22 @@ type t = {
           the sink, never changes simulated results *)
   mutable replay : replay_session option;
       (** the active replay session on a [create_replay] engine *)
+  (* Checkpointing.  [phase] reifies the fill -> application ->
+     sequential protocol (0 / 1 / 2; 3 = done) so a restored engine
+     knows which runner to re-enter; [resuming] makes the next phase
+     entry continue from the restored [fill_st] / [meas_st] instead of
+     reinitialising.  [ckpt_next] is the absolute time of the next
+     armed snapshot tick — kept outside the heap because [seed_events]
+     clears it. *)
+  fill_st : fill_state;
+  meas_st : meas_state;
+  mutable phase : int;
+  mutable resuming : bool;
+  mutable app_report : throughput_report option;
+  mutable seq_report : throughput_report option;
+  mutable ckpt_every_ms : float;  (** <= 0 means disarmed *)
+  mutable ckpt_next : float;
+  mutable ckpt_hook : (unit -> unit) option;
 }
 
 type drive_report = {
@@ -393,6 +432,21 @@ let record t ~file op =
 
 let set_recorder t recorder = t.recorder <- recorder
 
+(* Arm periodic checkpointing: every [every_ms] of simulated time a
+   [Ckpt_tick] fires and [hook] runs (typically writing
+   [checkpoint t] somewhere durable).  The tick chain keeps exactly one
+   event outstanding, like the fault and flush chains.  Arming may
+   reorder heap ties against an unarmed run (the extra element perturbs
+   the binary heap's layout), so the determinism guarantee is between
+   armed runs: an armed run resumed from any of its snapshots is
+   byte-identical to the same armed run left uninterrupted. *)
+let set_checkpoint t ~every_ms hook =
+  if every_ms <= 0. then invalid_arg "Engine.set_checkpoint: every_ms must be positive";
+  t.ckpt_every_ms <- every_ms;
+  t.ckpt_hook <- Some hook;
+  t.ckpt_next <- t.now +. every_ms;
+  Heap.push t.heap ~prio:t.ckpt_next Ckpt_tick
+
 (* Phase 2 of initialization: create every file at a size drawn uniform
    on (initial mean +- deviation); allocation requests are issued until
    the allocated length covers it.  As many files grow concurrently as
@@ -486,7 +540,11 @@ let seed_events t =
         | `Healthy | `Failed -> false
       in
       t.rebuild_live.(d) <- live)
-    t.rebuild_live
+    t.rebuild_live;
+  (* The clear also dropped the armed checkpoint tick: re-post it at its
+     scheduled time, keeping the snapshot cadence independent of phase
+     boundaries. *)
+  if t.ckpt_every_ms > 0. then Heap.push t.heap ~prio:t.ckpt_next Ckpt_tick
 
 let make cfg ~policy ~workload ~with_users =
   validate_config cfg;
@@ -565,6 +623,25 @@ let make cfg ~policy ~workload ~with_users =
       obs = None;
       recorder = None;
       replay = None;
+      fill_st = { fs_ops_at_start = 0; fs_best_used = 0; fs_fails = 0 };
+      meas_st =
+        {
+          ms_start = 0.;
+          ms_io_at_start = 0;
+          ms_fulls_at_start = 0;
+          ms_meta_at_start = 0;
+          (* placeholder; [run_measured] installs the real series *)
+          ms_series = Stats.Series.create ~window:2 ~tolerance:0.;
+          ms_next_checkpoint = 0.;
+          ms_checkpoints = 0;
+        };
+      phase = 0;
+      resuming = false;
+      app_report = None;
+      seq_report = None;
+      ckpt_every_ms = 0.;
+      ckpt_next = 0.;
+      ckpt_hook = None;
     }
   in
   (match t.fault_plan with Some plan -> t.pending_fault <- Fault_plan.pop plan | None -> ());
@@ -1210,6 +1287,18 @@ let run_events t ~mode ~stop =
                     Heap.push t.heap ~prio:(Float.max at t.now) Replay_tick
                 | None -> ())));
         if not (stop ~failed:false) then loop ()
+      | Ckpt_tick ->
+        (* Never touches [t.now] and never consults [stop]: a snapshot
+           tick must not change what the simulation computes.  The next
+           tick is pushed before the hook runs, so the snapshot the hook
+           writes already carries the live tick chain and a resumed run
+           keeps the exact same cadence. *)
+        (if t.ckpt_every_ms > 0. then begin
+           t.ckpt_next <- time +. t.ckpt_every_ms;
+           Heap.push t.heap ~prio:t.ckpt_next Ckpt_tick;
+           match t.ckpt_hook with Some hook -> hook () | None -> ()
+         end);
+        loop ()
     end
   in
   loop ()
@@ -1234,22 +1323,31 @@ let run_allocation_test t =
    fragmentation prevents that plateau out (a run of failed allocations
    with no net growth) and measurement starts where they stalled. *)
 let fill_to_lower_bound t =
-  let ops_at_start = t.alloc_ops in
-  let best_used = ref (Volume.used_bytes t.volume) in
-  let fails_since_growth = ref 0 in
-  let stop ~failed =
-    if failed then incr fails_since_growth;
-    let used = Volume.used_bytes t.volume in
-    if used > !best_used then begin
-      best_used := used;
-      fails_since_growth := 0
+  if t.resuming && t.phase >= 1 then ()  (* the snapshot was taken past the fill *)
+  else begin
+    let fs = t.fill_st in
+    if t.resuming then t.resuming <- false
+    else begin
+      t.phase <- 0;
+      fs.fs_ops_at_start <- t.alloc_ops;
+      fs.fs_best_used <- Volume.used_bytes t.volume;
+      fs.fs_fails <- 0
     end;
-    Volume.utilization t.volume >= t.cfg.lower_bound
-    || !fails_since_growth > 500
-    || t.alloc_ops - ops_at_start > t.cfg.max_alloc_ops
-  in
-  run_events t ~mode:(Alloc_only { governed = true }) ~stop;
-  seed_events t
+    let stop ~failed =
+      if failed then fs.fs_fails <- fs.fs_fails + 1;
+      let used = Volume.used_bytes t.volume in
+      if used > fs.fs_best_used then begin
+        fs.fs_best_used <- used;
+        fs.fs_fails <- 0
+      end;
+      Volume.utilization t.volume >= t.cfg.lower_bound
+      || fs.fs_fails > 500
+      || t.alloc_ops - fs.fs_ops_at_start > t.cfg.max_alloc_ops
+    in
+    run_events t ~mode:(Alloc_only { governed = true }) ~stop;
+    seed_events t;
+    t.phase <- 1
+  end
 
 (* Bytes transferred by time [upto]: fully finished I/Os are folded into
    [bytes_completed]; I/Os still in service are credited linearly over
@@ -1331,54 +1429,355 @@ let run_replay t ~next =
   }
 
 let run_measured t ~mode =
-  let start = t.now in
-  let io_at_start = t.io_ops and fulls_at_start = t.disk_fulls in
-  let meta_at_start = t.meta_bytes in
-  t.bytes_completed <- 0;
-  t.fl_len <- 0;
-  let series =
-    Stats.Series.create ~window:t.cfg.stable_windows ~tolerance:t.cfg.tolerance_pct
-  in
+  let ms = t.meas_st in
+  if t.resuming then t.resuming <- false  (* continue the restored measurement *)
+  else begin
+    ms.ms_start <- t.now;
+    ms.ms_io_at_start <- t.io_ops;
+    ms.ms_fulls_at_start <- t.disk_fulls;
+    ms.ms_meta_at_start <- t.meta_bytes;
+    t.bytes_completed <- 0;
+    t.fl_len <- 0;
+    ms.ms_series <-
+      Stats.Series.create ~window:t.cfg.stable_windows ~tolerance:t.cfg.tolerance_pct;
+    ms.ms_next_checkpoint <- ms.ms_start +. t.cfg.interval_ms;
+    ms.ms_checkpoints <- 0
+  end;
   let max_bw = max_bandwidth_pct_base t in
-  let next_checkpoint = ref (start +. t.cfg.interval_ms) in
-  let checkpoints = ref 0 in
   let stop ~failed:_ =
-    while t.now >= !next_checkpoint do
-      let transferred = bytes_transferred_by t ~upto:!next_checkpoint in
-      let elapsed = !next_checkpoint -. start in
+    while t.now >= ms.ms_next_checkpoint do
+      let transferred = bytes_transferred_by t ~upto:ms.ms_next_checkpoint in
+      let elapsed = ms.ms_next_checkpoint -. ms.ms_start in
       let pct = 100. *. transferred /. elapsed /. max_bw in
-      Stats.Series.add series pct;
-      incr checkpoints;
-      next_checkpoint := !next_checkpoint +. t.cfg.interval_ms
+      Stats.Series.add ms.ms_series pct;
+      ms.ms_checkpoints <- ms.ms_checkpoints + 1;
+      ms.ms_next_checkpoint <- ms.ms_next_checkpoint +. t.cfg.interval_ms
     done;
-    (!checkpoints > t.cfg.warmup_checkpoints + t.cfg.stable_windows
-    && Stats.Series.is_stable series)
-    || t.now -. start >= t.cfg.max_measure_ms
+    (ms.ms_checkpoints > t.cfg.warmup_checkpoints + t.cfg.stable_windows
+    && Stats.Series.is_stable ms.ms_series)
+    || t.now -. ms.ms_start >= t.cfg.max_measure_ms
   in
   run_events t ~mode ~stop;
   let transferred = bytes_transferred_by t ~upto:t.now in
-  let measured = Float.max (t.now -. start) 1. in
+  let measured = Float.max (t.now -. ms.ms_start) 1. in
   let rate = transferred /. measured in
   {
     pct_of_max = 100. *. rate /. max_bw;
     bytes_per_ms = rate;
     measured_ms = measured;
-    checkpoints = !checkpoints;
+    checkpoints = ms.ms_checkpoints;
     stabilized =
-      !checkpoints > t.cfg.warmup_checkpoints + t.cfg.stable_windows
-      && Stats.Series.is_stable series;
-    io_ops = t.io_ops - io_at_start;
-    disk_fulls = t.disk_fulls - fulls_at_start;
+      ms.ms_checkpoints > t.cfg.warmup_checkpoints + t.cfg.stable_windows
+      && Stats.Series.is_stable ms.ms_series;
+    io_ops = t.io_ops - ms.ms_io_at_start;
+    disk_fulls = t.disk_fulls - ms.ms_fulls_at_start;
     utilization = Volume.utilization t.volume;
     mean_extents_per_file = Volume.mean_extents_per_file t.volume;
-    meta_bytes = t.meta_bytes - meta_at_start;
+    meta_bytes = t.meta_bytes - ms.ms_meta_at_start;
   }
 
-let run_application_test t = run_measured t ~mode:Full_mix
+let run_application_test t =
+  if t.resuming && t.phase >= 2 then
+    match t.app_report with
+    | Some r -> r
+    | None -> invalid_arg "Engine: snapshot is past the application test but has no report"
+  else begin
+    t.phase <- 1;
+    let r = run_measured t ~mode:Full_mix in
+    t.app_report <- Some r;
+    t.phase <- 2;
+    r
+  end
 
 let run_sequential_test t =
-  seed_events t;
-  run_measured t ~mode:Whole_file_rw
+  if t.resuming && t.phase >= 3 then begin
+    t.resuming <- false;
+    match t.seq_report with
+    | Some r -> r
+    | None -> invalid_arg "Engine: snapshot is past the sequential test but has no report"
+  end
+  else begin
+    t.phase <- 2;
+    if not t.resuming then seed_events t;
+    let r = run_measured t ~mode:Whole_file_rw in
+    t.seq_report <- Some r;
+    t.phase <- 3;
+    r
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / restore                                                *)
+
+(* The engine snapshot is a list of named opaque sections; the CLI
+   wraps them in the checksummed [Rofs_ckpt.Ckpt] container.  Every
+   subsystem owning mutable state contributes its own section (policy,
+   volume, array + fault state, fault plan, cache, sink); this record
+   is the engine's own: clock, RNG streams, per-user twins, the event
+   heap (pooled events encoded as tag + index), the waiter table keyed
+   by operation id, the in-flight credit arrays and the phase machine.
+   Restores are aliasing-preserving throughout — the engine's pooled
+   events, recorder closures and report paths keep pointing at the same
+   records they did before the restore. *)
+type engine_ckpt = {
+  ck_now : float;
+  ck_rng : Rng.t;
+  ck_users : (Rng.t * int * int * int * int) array;
+      (** per user: rng, file, seq_offset, read_ahead_until, write_behind_until *)
+  ck_heap_prios : float array;
+  ck_heap_events : (int * int) array;
+  ck_waiters : (int * (int * int * float)) list;  (** op id -> encoded waiter *)
+  ck_pending_fault : (float * Fault_plan.action) option;
+  ck_rebuild_live : bool array;
+  ck_fl : float array * float array * int array;  (** issue / finish / bytes, live prefix *)
+  ck_counters : int * int * int * int * int * int * int;
+      (** disk_fulls, io_ops, alloc_ops, bytes_completed, meta_bytes,
+          rebuild_ios, data_loss *)
+  ck_phase : int;
+  ck_fill : int * int * int;
+  ck_meas : float * int * int * int * float * int;
+  ck_series : Stats.Series.t;
+  ck_app_report : throughput_report option;
+  ck_seq_report : throughput_report option;
+  ck_ckpt_every : float;
+  ck_ckpt_next : float;
+}
+
+let user_index t u =
+  let rec find i =
+    if i >= Array.length t.users then invalid_arg "Engine.checkpoint: unknown user"
+    else if t.users.(i) == u then i
+    else find (i + 1)
+  in
+  find 0
+
+let encode_event t = function
+  | Wake u -> (0, user_index t u)
+  | Drive_done d -> (1, d)
+  | Fault_tick -> (2, 0)
+  | Rebuild_tick d -> (3, d)
+  | Flush_tick -> (4, 0)
+  | Replay_tick -> (5, 0)
+  | Ckpt_tick -> (6, 0)
+
+(* Decoding reuses the pooled event records, so a restored heap aliases
+   exactly like a live one (one [Wake] per user, one [Drive_done] and
+   [Rebuild_tick] per drive). *)
+let decode_event t (tag, arg) =
+  match tag with
+  | 0 -> t.users.(arg).wake_ev
+  | 1 -> t.drive_done_evs.(arg)
+  | 2 -> Fault_tick
+  | 3 -> t.rebuild_evs.(arg)
+  | 4 -> Flush_tick
+  | 5 -> Replay_tick
+  | 6 -> Ckpt_tick
+  | _ -> invalid_arg "snapshot: unknown event tag"
+
+let encode_waiter t = function
+  | User_waiter u -> (0, user_index t u, 0.)
+  | Rebuild_waiter { drive; next_ok } -> (1, drive, next_ok)
+  | Replay_waiter -> (2, 0, 0.)
+
+let decode_waiter t (tag, arg, f) =
+  match tag with
+  | 0 -> t.users.(arg).park
+  | 1 -> Rebuild_waiter { drive = arg; next_ok = f }
+  | 2 -> Replay_waiter
+  | _ -> invalid_arg "snapshot: unknown waiter tag"
+
+(* Everything the simulated results depend on that is fixed at engine
+   construction: resuming under a different configuration, policy or
+   workload would silently compute garbage, so [restore] refuses when
+   the digests differ.  [array_config] is a closure and enters through
+   the printed description of the layout it builds. *)
+let fingerprint t =
+  let c = t.cfg in
+  let p = Volume.policy t.volume in
+  let array_desc =
+    Format.asprintf "%a" Array_model.pp_config (c.array_config c.stripe_unit_bytes)
+  in
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          ( 1 (* fingerprint layout version *),
+            (c.seed, c.disks, c.stripe_unit_bytes, array_desc, c.scheduler),
+            ( c.lower_bound,
+              c.upper_bound,
+              c.interval_ms,
+              c.stable_windows,
+              c.tolerance_pct,
+              c.max_measure_ms,
+              c.max_alloc_ops,
+              c.readahead_factor,
+              c.warmup_checkpoints,
+              c.metadata_io,
+              c.shard_slices ),
+            (c.faults, c.cache),
+            ( p.Rofs_alloc.Policy.name,
+              p.Rofs_alloc.Policy.unit_bytes,
+              p.Rofs_alloc.Policy.total_units ),
+            t.workload )
+          []))
+
+let checkpoint t =
+  if t.replay <> None then
+    invalid_arg "Engine.checkpoint: a replay session cannot be checkpointed";
+  if t.recorder <> None then
+    invalid_arg "Engine.checkpoint: a recording engine cannot be checkpointed";
+  let prios, events = Heap.snapshot t.heap in
+  let ms = t.meas_st in
+  let ck =
+    {
+      ck_now = t.now;
+      ck_rng = Rng.copy t.rng;
+      ck_users =
+        Array.map
+          (fun (u : user) ->
+            (Rng.copy u.rng, u.file, u.seq_offset, u.read_ahead_until, u.write_behind_until))
+          t.users;
+      ck_heap_prios = prios;
+      ck_heap_events = Array.map (encode_event t) events;
+      ck_waiters =
+        (* sorted by op id: canonical bytes for identical state *)
+        List.sort compare
+          (Hashtbl.fold (fun id w acc -> (id, encode_waiter t w) :: acc) t.waiters []);
+      ck_pending_fault = t.pending_fault;
+      ck_rebuild_live = Array.copy t.rebuild_live;
+      ck_fl =
+        ( Array.sub t.fl_issue 0 t.fl_len,
+          Array.sub t.fl_finish 0 t.fl_len,
+          Array.sub t.fl_bytes 0 t.fl_len );
+      ck_counters =
+        ( t.disk_fulls,
+          t.io_ops,
+          t.alloc_ops,
+          t.bytes_completed,
+          t.meta_bytes,
+          t.rebuild_ios,
+          t.data_loss );
+      ck_phase = t.phase;
+      ck_fill = (t.fill_st.fs_ops_at_start, t.fill_st.fs_best_used, t.fill_st.fs_fails);
+      ck_meas =
+        ( ms.ms_start,
+          ms.ms_io_at_start,
+          ms.ms_fulls_at_start,
+          ms.ms_meta_at_start,
+          ms.ms_next_checkpoint,
+          ms.ms_checkpoints );
+      ck_series = ms.ms_series;
+      ck_app_report = t.app_report;
+      ck_seq_report = t.seq_report;
+      ck_ckpt_every = t.ckpt_every_ms;
+      ck_ckpt_next = t.ckpt_next;
+    }
+  in
+  [
+    ("fingerprint", fingerprint t);
+    ("engine", Marshal.to_string ck []);
+    ("policy", (Volume.policy t.volume).Rofs_alloc.Policy.ckpt_save ());
+    ("volume", Volume.ckpt_save t.volume);
+    ("array", Array_model.ckpt_save t.array);
+    ("fault", Fault.ckpt_save (Array_model.fault_state t.array));
+    ("fault_plan", Marshal.to_string (Option.map Fault_plan.ckpt_save t.fault_plan) []);
+    ("cache", Marshal.to_string (Option.map Cache.ckpt_save t.cache) []);
+    ("obs", Marshal.to_string (Option.map Sink.ckpt_save t.obs) []);
+  ]
+
+let restore t sections =
+  if t.replay <> None then invalid_arg "Engine.restore: replay engines cannot be restored";
+  let sec name =
+    match List.assoc_opt name sections with
+    | Some payload -> payload
+    | None -> invalid_arg (Printf.sprintf "snapshot: missing %S section" name)
+  in
+  if not (String.equal (sec "fingerprint") (fingerprint t)) then
+    invalid_arg
+      "snapshot: configuration fingerprint mismatch (resume must use the original run's \
+       configuration, policy and workload)";
+  let ck = (Marshal.from_string (sec "engine") 0 : engine_ckpt) in
+  if Array.length ck.ck_users <> Array.length t.users then
+    invalid_arg "snapshot: user population mismatch";
+  (Volume.policy t.volume).Rofs_alloc.Policy.ckpt_load (sec "policy");
+  Volume.ckpt_load t.volume (sec "volume");
+  Array_model.ckpt_load t.array (sec "array");
+  Fault.ckpt_load (Array_model.fault_state t.array) (sec "fault");
+  (match (t.fault_plan, (Marshal.from_string (sec "fault_plan") 0 : string option)) with
+  | Some plan, Some blob -> Fault_plan.ckpt_load plan blob
+  | None, None -> ()
+  | Some _, None | None, Some _ -> invalid_arg "snapshot: fault-plan configuration mismatch");
+  (match (t.cache, (Marshal.from_string (sec "cache") 0 : string option)) with
+  | Some cache, Some blob -> Cache.ckpt_load cache blob
+  | None, None -> ()
+  | Some _, None | None, Some _ -> invalid_arg "snapshot: cache configuration mismatch");
+  (match (t.obs, (Marshal.from_string (sec "obs") 0 : string option)) with
+  | Some sink, Some blob -> Sink.ckpt_load sink blob
+  | None, None -> ()
+  | Some _, None -> invalid_arg "snapshot: the original run had no metrics sink attached"
+  | None, Some _ -> invalid_arg "snapshot: the original run had a metrics sink attached");
+  t.now <- ck.ck_now;
+  Rng.assign ~dst:t.rng ~src:ck.ck_rng;
+  Array.iteri
+    (fun i (rng, file, seq_offset, read_ahead_until, write_behind_until) ->
+      let u = t.users.(i) in
+      Rng.assign ~dst:u.rng ~src:rng;
+      u.file <- file;
+      u.seq_offset <- seq_offset;
+      u.read_ahead_until <- read_ahead_until;
+      u.write_behind_until <- write_behind_until)
+    ck.ck_users;
+  Heap.restore t.heap ~prios:ck.ck_heap_prios
+    ~data:(Array.map (decode_event t) ck.ck_heap_events);
+  Hashtbl.reset t.waiters;
+  List.iter (fun (id, ew) -> Hashtbl.replace t.waiters id (decode_waiter t ew)) ck.ck_waiters;
+  t.pending_fault <- ck.ck_pending_fault;
+  Array.blit ck.ck_rebuild_live 0 t.rebuild_live 0 (Array.length t.rebuild_live);
+  let fi, ff, fb = ck.ck_fl in
+  let len = Array.length fb in
+  let cap = max 64 len in
+  t.fl_issue <- Array.make cap 0.;
+  t.fl_finish <- Array.make cap 0.;
+  t.fl_bytes <- Array.make cap 0;
+  Array.blit fi 0 t.fl_issue 0 len;
+  Array.blit ff 0 t.fl_finish 0 len;
+  Array.blit fb 0 t.fl_bytes 0 len;
+  t.fl_len <- len;
+  t.fl2_issue <- Array.make cap 0.;
+  t.fl2_finish <- Array.make cap 0.;
+  t.fl2_bytes <- Array.make cap 0;
+  let disk_fulls, io_ops, alloc_ops, bytes_completed, meta_bytes, rebuild_ios, data_loss =
+    ck.ck_counters
+  in
+  t.disk_fulls <- disk_fulls;
+  t.io_ops <- io_ops;
+  t.alloc_ops <- alloc_ops;
+  t.bytes_completed <- bytes_completed;
+  t.meta_bytes <- meta_bytes;
+  t.rebuild_ios <- rebuild_ios;
+  t.data_loss <- data_loss;
+  t.phase <- ck.ck_phase;
+  let fs_ops_at_start, fs_best_used, fs_fails = ck.ck_fill in
+  t.fill_st.fs_ops_at_start <- fs_ops_at_start;
+  t.fill_st.fs_best_used <- fs_best_used;
+  t.fill_st.fs_fails <- fs_fails;
+  let ms_start, ms_io, ms_fulls, ms_meta, ms_next, ms_checkpoints = ck.ck_meas in
+  let ms = t.meas_st in
+  ms.ms_start <- ms_start;
+  ms.ms_io_at_start <- ms_io;
+  ms.ms_fulls_at_start <- ms_fulls;
+  ms.ms_meta_at_start <- ms_meta;
+  ms.ms_series <- ck.ck_series;
+  ms.ms_next_checkpoint <- ms_next;
+  ms.ms_checkpoints <- ms_checkpoints;
+  t.app_report <- ck.ck_app_report;
+  t.seq_report <- ck.ck_seq_report;
+  (* The snapshot's cadence wins: the tick chain in the restored heap
+     was scheduled under it, and keeping it preserves bit-identity with
+     the uninterrupted armed run even if the caller re-armed with a
+     different interval (or none — the chain then continues with a
+     no-op hook, keeping heap tie-breaking identical). *)
+  if ck.ck_ckpt_every > 0. then t.ckpt_every_ms <- ck.ck_ckpt_every;
+  t.ckpt_next <- ck.ck_ckpt_next;
+  t.resuming <- true
 
 (* ------------------------------------------------------------------ *)
 (* Explicit fault control (benchmarks, tests)                          *)
@@ -1611,7 +2010,8 @@ let merge_slice_sinks results =
     results;
   !acc
 
-let run_sharded ?(shards = 1) ?(instrument = false) ?(trace = false) cfg ~policy ~workload =
+let run_sharded ?(shards = 1) ?(instrument = false) ?(trace = false) ?ckpt_every_ms ?ckpt_save
+    ?ckpt_resume cfg ~policy ~workload =
   validate_config ~shards cfg;
   Workload.validate workload;
   if cfg.shard_slices > cfg.disks then
@@ -1631,9 +2031,25 @@ let run_sharded ?(shards = 1) ?(instrument = false) ?(trace = false) cfg ~policy
     let engine = create slice_cfg ~policy:p ~workload:w in
     let sink = if instrument then Some (Sink.create ~trace ()) else None in
     Option.iter (attach_obs engine) sink;
+    (* Arm before restoring: [restore] replaces the heap wholesale, so
+       the initial tick [set_checkpoint] posts is superseded by the
+       snapshot's own tick chain on resume. *)
+    (match (ckpt_every_ms, ckpt_save) with
+    | Some every, Some save ->
+        set_checkpoint engine ~every_ms:every (fun () -> save ~slice:i (checkpoint engine))
+    | _ -> ());
+    (match ckpt_resume with
+    | Some load -> (
+        match load ~slice:i with
+        | Some sections -> restore engine sections
+        | None -> ())
+    | None -> ());
     fill_to_lower_bound engine;
     let app = run_application_test engine in
     let seq = run_sequential_test engine in
+    (* Final snapshot: a slice that already finished resumes instantly
+       from its stored reports instead of re-simulating. *)
+    (match ckpt_save with Some save -> save ~slice:i (checkpoint engine) | None -> ());
     {
       sl_app = app;
       sl_seq = seq;

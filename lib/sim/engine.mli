@@ -288,6 +288,55 @@ val fill_to_lower_bound : t -> unit
 val run_application_test : t -> throughput_report
 val run_sequential_test : t -> throughput_report
 
+(** {1 Checkpoint / restore}
+
+    A checkpoint captures the {e complete} simulation state — engine
+    clock and counters, every RNG stream, the event heap, the waiter
+    table, per-user state, allocator and volume state, the array's
+    drives / dispatch queues / in-service requests, fault-plan cursors
+    and drive health, cache contents and dirty tracking, and the
+    attached metrics sink — as a list of named opaque sections (wrap
+    them in [Rofs_ckpt.Ckpt] for a checksummed, atomically written
+    file).  A restored run continues {e byte-identically}: reports,
+    fault counters, cache counters and serialized sinks all match an
+    uninterrupted run of the same engine bit for bit.
+
+    Arming periodic checkpoints inserts [Ckpt_tick] events into the
+    heap, which can re-order simultaneous events relative to an unarmed
+    run; the determinism guarantee is therefore between armed runs
+    (resumed vs. uninterrupted, at the same [every_ms]).  Replay and
+    recording engines hold closures and cannot be checkpointed. *)
+
+val checkpoint : t -> (string * string) list
+(** Snapshot the full simulation state as named sections.  Callable at
+    any point, including from a {!set_checkpoint} hook mid-run.
+    @raise Invalid_argument on a replay or recording engine. *)
+
+val restore : t -> (string * string) list -> unit
+(** Load a {!checkpoint} into a freshly created engine of the {e same}
+    configuration, policy and workload; the next
+    {!fill_to_lower_bound} / {!run_application_test} /
+    {!run_sequential_test} calls skip completed phases (returning their
+    stored reports) and re-enter the interrupted phase mid-loop.
+    @raise Invalid_argument with a one-line message when the snapshot's
+    configuration fingerprint, cache / fault-plan / sink presence or
+    user population does not match [t]. *)
+
+val set_checkpoint : t -> every_ms:float -> (unit -> unit) -> unit
+(** Arm periodic checkpointing: every [every_ms] of simulated time the
+    hook runs (typically writing [checkpoint t] to a file).  The next
+    tick is already in the heap when the hook fires, so snapshots carry
+    the live tick chain and resumed runs keep the exact cadence.  Call
+    {e before} {!restore} when resuming: the restore supersedes the
+    initial tick with the snapshot's own chain.
+    @raise Invalid_argument if [every_ms <= 0]. *)
+
+val fingerprint : t -> string
+(** Digest of everything fixed at construction that simulated results
+    depend on (config scalars, array layout, scheduler, fault plan,
+    cache config, policy identity and geometry, workload).  {!restore}
+    refuses a snapshot whose fingerprint differs. *)
+
 (** {1 Sharded intra-run parallelism}
 
     {!run_sharded} splits one throughput run into
@@ -336,6 +385,9 @@ val run_sharded :
   ?shards:int ->
   ?instrument:bool ->
   ?trace:bool ->
+  ?ckpt_every_ms:float ->
+  ?ckpt_save:(slice:int -> (string * string) list -> unit) ->
+  ?ckpt_resume:(slice:int -> (string * string) list option) ->
   config ->
   policy:(slice:int -> config -> Rofs_workload.Workload.t -> Rofs_alloc.Policy.t) ->
   workload:Rofs_workload.Workload.t ->
@@ -348,6 +400,14 @@ val run_sharded :
     {!Experiment.run_sharded} supplies the standard spec-based builder.
     [instrument] attaches one sink per slice ([trace] additionally
     records each slice's bounded event trace) and merges them.
+
+    Checkpointing is per slice (a slice is a complete serial engine):
+    with [ckpt_every_ms] and [ckpt_save] given, each slice arms
+    {!set_checkpoint} with a hook calling [ckpt_save ~slice:i] on its
+    own {!checkpoint} sections, and writes one final snapshot after its
+    sequential test so finished slices resume instantly.  [ckpt_resume]
+    is consulted once per slice before the run; returning [Some
+    sections] restores them ([None] starts the slice fresh).
     @raise Invalid_argument if [shards < 1], [cfg] is invalid,
     [cfg.shard_slices] exceeds [cfg.disks], or the workload is too small
     to give every slice at least one file and user. *)

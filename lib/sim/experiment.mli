@@ -47,6 +47,9 @@ val run_sharded :
   ?shards:int ->
   ?instrument:bool ->
   ?trace:bool ->
+  ?ckpt_every_ms:float ->
+  ?ckpt_save:(slice:int -> (string * string) list -> unit) ->
+  ?ckpt_resume:(slice:int -> (string * string) list option) ->
   policy_spec ->
   Rofs_workload.Workload.t ->
   Engine.sharded_report
@@ -54,7 +57,9 @@ val run_sharded :
     builder (capacity sized to each slice's sub-array, policy RNG seeded
     from the slice seed exactly as {!make_engine} does).  The merged
     report is byte-identical at every [shards] count, and with
-    [config.shard_slices = 1] byte-identical to {!run_throughput}. *)
+    [config.shard_slices = 1] byte-identical to {!run_throughput}.  The
+    [ckpt_*] hooks pass through to {!Engine.run_sharded}'s per-slice
+    checkpointing. *)
 
 type obs_run = {
   o_application : Engine.throughput_report;

@@ -141,6 +141,25 @@ let occupancy t ~buckets =
   let per_bucket = float_of_int total /. float_of_int buckets in
   Array.map (fun units -> Float.min 1. (float_of_int units /. per_bucket)) cells
 
+(* Checkpoint the volume's own bookkeeping; the policy underneath has
+   its own [ckpt_save]/[ckpt_load] and is restored separately by the
+   engine.  The file table's iteration order only feeds commutative
+   sums ([occupancy], [mean_extents_per_file]), so re-adding the
+   marshalled twin's bindings restores behaviour exactly. *)
+let ckpt_save t =
+  Marshal.to_string (t.files, t.by_type, t.next_id, t.total_logical) []
+
+let ckpt_load t blob =
+  let files, by_type, next_id, total_logical =
+    (Marshal.from_string blob 0
+      : (int, file_info) Hashtbl.t * int Vec.t array * int * int)
+  in
+  Hashtbl.reset t.files;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.files k v) files;
+  Array.iteri (fun i v -> t.by_type.(i) <- v) by_type;
+  t.next_id <- next_id;
+  t.total_logical <- total_logical
+
 let mean_extents_per_file t =
   let n = Hashtbl.length t.files in
   if n = 0 then 0.

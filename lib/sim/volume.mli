@@ -73,3 +73,13 @@ val occupancy : t -> buckets:int -> float array
     equal ranges, each cell the fraction of its units allocated to live
     files.  Costs a pass over every extent; intended for inspection and
     the examples' ASCII disk maps. *)
+
+val ckpt_save : t -> string
+(** Opaque serialization of the volume's own bookkeeping (file table,
+    per-type live vectors, id counter, logical total) — {e not} the
+    allocation policy underneath, which checkpoints itself through
+    {!Rofs_alloc.Policy.t.ckpt_save}. *)
+
+val ckpt_load : t -> string -> unit
+(** Restore a {!ckpt_save} blob in place on a volume built over the
+    same policy shape. *)

@@ -179,11 +179,12 @@ let read_all ic =
 
 let read_channel ic = decode (read_all ic)
 
+(* Atomic: the trace lands under a temp name and renames into place, so
+   a crash mid-save never leaves a torn file where a previous good
+   trace (or nothing) used to be. *)
 let save_file path t =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (if binary_path path then encode t else Trace.save t))
+  Rofs_ckpt.Ckpt.atomic_write path (fun oc ->
+      output_string oc (if binary_path path then encode t else Trace.save t))
 
 let load_file path =
   let ic = open_in_bin path in

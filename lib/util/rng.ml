@@ -22,6 +22,12 @@ let create ~seed =
 
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
+let assign ~dst ~src =
+  dst.s0 <- src.s0;
+  dst.s1 <- src.s1;
+  dst.s2 <- src.s2;
+  dst.s3 <- src.s3
+
 let derive_seed ~seed ~stream =
   (* Mix the pair through splitmix64 so that (seed, 0), (seed, 1), ...
      land far apart even for adjacent seeds; the result is kept
