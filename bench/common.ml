@@ -74,7 +74,10 @@ let current_bench = ref ""
 let json_cells : C.Obs.Json.t list ref = ref [] (* newest first *)
 
 (* "16.3%" and "4.2" become numbers (percent sign stripped); anything
-   else stays a string. *)
+   else stays a string.  Only finite values coerce: float_of_string
+   accepts "nan" and "inf", which have no JSON representation, and a
+   NaN cell must surface as the string it printed as, not as a token
+   that breaks every downstream parser. *)
 let cell_json s =
   let trimmed = String.trim s in
   let numeric =
@@ -82,7 +85,7 @@ let cell_json s =
     if n > 1 && trimmed.[n - 1] = '%' then String.sub trimmed 0 (n - 1) else trimmed
   in
   match float_of_string_opt numeric with
-  | Some f when trimmed <> "" -> C.Obs.Json.Float f
+  | Some f when trimmed <> "" && Float.is_finite f -> C.Obs.Json.Float f
   | _ -> C.Obs.Json.Str s
 
 let capture_json ?title table =

@@ -28,6 +28,7 @@ let benches =
     ("micro", "allocator micro-benchmarks (Bechamel)", Bench_micro.run);
     ("replay", "allocator x cache policy on a recorded TP trace", Bench_replay.run);
     ("speed", "sharded-run speed: simulated ops per wall-second", Bench_speed.run);
+    ("timeline", "windowed time series: stabilization, warm-up, fault dip", Bench_timeline.run);
   ]
 
 let list_benches () =

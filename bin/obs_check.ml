@@ -5,10 +5,13 @@
    Each file must parse as JSON.  Documents are further checked by
    shape: a "traceEvents" member marks a Chrome trace (must be
    non-empty, with numeric non-decreasing "ts" fields on phase X/i
-   events); a "schema" member marks a report/sweep document (its
-   metrics must expose latency p50/p99); a bare metrics document (a
-   "latency_ms" member) gets the same quantile check.  Exit status is 0
-   iff every file passes. *)
+   events); a "schema" member marks a report/sweep/bench/timeline
+   document — bench cells must be strictly typed (strings or finite
+   numbers; a null row value is the serializer's stand-in for NaN/Inf
+   and fails), timeline windows must be contiguous with well-formed
+   quantiles and sub-objects, report metrics must expose latency
+   p50/p99; a bare metrics document (a "latency_ms" member) gets the
+   same quantile check.  Exit status is 0 iff every file passes. *)
 
 module J = Rofs_obs.Json
 
@@ -59,6 +62,94 @@ let check_cache file doc =
       | Some _ -> problem file "cache.hit_rate outside [0, 1]"
       | None -> problem file "cache.hit_rate missing or non-numeric")
 
+(* Bench documents carry typed table cells: every row value must be a
+   string or a finite number.  A null row value is what the JSON
+   emitter writes for NaN/Inf (and "1e999" parses to infinity), so
+   both shapes mark a broken measurement, not a formatting choice. *)
+let check_bench file doc =
+  match J.member "cells" doc with
+  | Some (J.Arr (_ :: _ as cells)) ->
+      List.iteri
+        (fun i cell ->
+          let where what = Printf.sprintf "cells[%d]: %s" i what in
+          (match J.member "bench" cell with
+          | Some (J.Str _) -> ()
+          | _ -> problem file (where "bench missing or not a string"));
+          (match J.member "columns" cell with
+          | Some (J.Arr (_ :: _ as cols))
+            when List.for_all (function J.Str _ -> true | _ -> false) cols ->
+              ()
+          | _ -> problem file (where "columns missing, empty or non-string"));
+          match J.member "rows" cell with
+          | Some (J.Arr rows) ->
+              List.iter
+                (function
+                  | J.Arr vs ->
+                      List.iter
+                        (function
+                          | J.Str _ | J.Int _ -> ()
+                          | J.Float f when Float.is_finite f -> ()
+                          | J.Float _ | J.Null ->
+                              problem file (where "row value is NaN or infinite")
+                          | _ -> problem file (where "row value is not a string or number"))
+                        vs
+                  | _ -> problem file (where "row is not an array"))
+                rows
+          | _ -> problem file (where "rows missing or not an array"))
+        cells
+  | _ -> problem file "bench document has no cells"
+
+(* rofs-timeline-v1: a positive window width and contiguous windows,
+   each with non-negative counters, a well-formed latency histogram,
+   the cache / fault / alloc sub-objects and a per-drive array. *)
+let check_timeline file doc =
+  (match number (J.member "every_ms" doc) with
+  | Some v when v > 0. -> ()
+  | _ -> problem file "every_ms missing or not positive");
+  match J.member "windows" doc with
+  | Some (J.Arr windows) ->
+      List.iteri
+        (fun i w ->
+          let where what = Printf.sprintf "windows[%d]: %s" i what in
+          (match J.member "index" w with
+          | Some (J.Int idx) when idx = i -> ()
+          | _ -> problem file (where "index missing or out of order"));
+          List.iter
+            (fun name ->
+              match number (J.member name w) with
+              | Some v when v >= 0. -> ()
+              | _ -> problem file (where (name ^ " missing or negative")))
+            [ "t_start_ms"; "t_end_ms"; "io_ops"; "alloc_ops"; "bytes"; "disk_fulls" ];
+          check_hist file "latency_ms" w;
+          let sub name fields =
+            match J.member name w with
+            | Some o ->
+                List.iter
+                  (fun field ->
+                    match number (J.member field o) with
+                    | Some v when v >= 0. -> ()
+                    | _ ->
+                        problem file
+                          (where (Printf.sprintf "%s.%s missing or negative" name field)))
+                  fields
+            | None -> problem file (where (Printf.sprintf "missing %s object" name))
+          in
+          sub "cache" [ "lookups"; "hits"; "misses"; "writeback_bytes"; "prefetched_pages" ];
+          sub "fault" [ "failed_drives"; "rebuilding_drives"; "rebuild_ios"; "data_loss" ];
+          sub "alloc"
+            [ "used_units"; "total_units"; "free_units"; "largest_free_units"; "free_extents" ];
+          (match J.member "alloc" w with
+          | Some a -> (
+              match number (J.member "utilization" a) with
+              | Some u when u >= 0. && u <= 1. -> ()
+              | _ -> problem file (where "alloc.utilization outside [0, 1]"))
+          | None -> ());
+          match J.member "drives" w with
+          | Some (J.Arr _) -> ()
+          | _ -> problem file (where "missing drives array"))
+        windows
+  | _ -> problem file "missing windows array"
+
 let check_metrics file doc =
   check_hist file "latency_ms" doc;
   check_cache file doc;
@@ -98,10 +189,8 @@ let check_file file =
             | Some (J.Str _) -> ()
             | _ -> problem file "missing schema tag");
             (match J.member "schema" doc with
-            | Some (J.Str "rofs-bench-v1") -> (
-                match J.member "cells" doc with
-                | Some (J.Arr (_ :: _)) -> ()
-                | _ -> problem file "bench document has no cells")
+            | Some (J.Str "rofs-bench-v1") -> check_bench file doc
+            | Some (J.Str "rofs-timeline-v1") -> check_timeline file doc
             | Some (J.Str "rofs-replay-v1") -> (
                 (match J.member "replay" doc with
                 | Some r ->

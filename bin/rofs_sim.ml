@@ -41,6 +41,12 @@ let write_trace_file path sink =
   | Some trace -> write_json_file path (C.Obs.Trace.chrome_json trace)
   | None -> ()
 
+(* A timeline exports twice: the full rofs-timeline-v1 JSON document at
+   FILE and a flat spreadsheet-ready CSV at FILE.csv. *)
+let write_timeline_files path tl =
+  write_json_file path (C.Timeline.to_json tl);
+  C.Ckpt.atomic_write (path ^ ".csv") (fun oc -> output_string oc (C.Timeline.to_csv tl))
+
 let stats_json stats =
   let v = function Some x -> x | None -> 0. in
   C.Obs.Json.Obj
@@ -132,7 +138,8 @@ let run_sweep ~config ~jobs ~seeds ~policy ~json ~metrics_file ~trace_file spec
    test/test_speed.ml — so --shards only changes the wall clock; the
    CI speed-smoke job cmps the --json output across shard counts. *)
 let run_sharded_cli ~config ~shards ~policy ~test ~json ~metrics_file ~trace_file
-    ~record_file ~ckpt_every ~ckpt_file ~resume_file spec (workload : C.Workload.t) =
+    ~record_file ~timeline_file ~timeline_every ~ckpt_every ~ckpt_file ~resume_file spec
+    (workload : C.Workload.t) =
   let ch = if json then stderr else stdout in
   if record_file <> "" then
     prerr_endline "rofs_sim: --record is ignored with --shards (sharded runs record no trace)";
@@ -162,11 +169,13 @@ let run_sharded_cli ~config ~shards ~policy ~test ~json ~metrics_file ~trace_fil
           | Ok sections -> Some sections
           | Error msg -> invalid_arg (Printf.sprintf "%s: %s" path msg))
   in
+  let timeline_every_ms = if timeline_file <> "" then Some timeline_every else None in
   let sharded =
     if test = All || test = Throughput then
       Some
         (C.Experiment.run_sharded ~config ~shards ~instrument:instrumented
-           ~trace:(trace_file <> "") ?ckpt_every_ms ?ckpt_save ?ckpt_resume spec workload)
+           ~trace:(trace_file <> "") ?timeline_every_ms ?ckpt_every_ms ?ckpt_save
+           ?ckpt_resume spec workload)
     else None
   in
   let application = Option.map (fun (r : C.Engine.sharded_report) -> r.C.Engine.s_application) sharded in
@@ -186,6 +195,11 @@ let run_sharded_cli ~config ~shards ~policy ~test ~json ~metrics_file ~trace_fil
     (C.Report.summary ?faults:fault_report ?cache:cache_report
        ~workload:workload.C.Workload.name ~policy ~alloc ~application ~sequential ());
   flush ch;
+  if timeline_file <> "" then begin
+    match Option.bind sharded (fun (r : C.Engine.sharded_report) -> r.C.Engine.s_timeline) with
+    | Some tl -> write_timeline_files timeline_file tl
+    | None -> prerr_endline "rofs_sim: --timeline needs the throughput test; nothing written"
+  end;
   Option.iter
     (fun sink ->
       if metrics_file <> "" then write_json_file metrics_file (C.Sink.to_json sink);
@@ -243,7 +257,7 @@ let run_replay ~config ~workload ~policy ~json ~metrics_file ~replay_file ~recor
 let run policy sizes grow unclustered fit ranges block workload_name test seed seeds jobs
     shards readahead scheduler layout scale cache_mb cache_policy cache_write mttf mttr
     media_error_rate rebuild_rate measure_ms json trace_file metrics_file replay_file
-    record_file ckpt_every ckpt_file resume_file =
+    record_file timeline_file timeline_every ckpt_every ckpt_file resume_file =
   match C.Workload.by_name workload_name with
   | None ->
       Printf.eprintf "unknown workload %S (expected ts, tp or sc)\n" workload_name;
@@ -310,9 +324,19 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed s
         if test = Alloc then
           invalid_arg "--test alloc is not resumable (checkpointing covers the throughput protocol)"
       end;
+      (* The timeline flags pair: a window width without a destination
+         (or vice versa) is a config mistake, refused up front. *)
+      if timeline_file <> "" && timeline_every <= 0. then
+        invalid_arg "--timeline needs --timeline-every MS (a positive window width)";
+      if timeline_every <> 0. && timeline_file = "" then
+        invalid_arg "--timeline-every needs --timeline FILE";
       if replay_file <> "" then begin
         if seeds <> [] then
           prerr_endline "rofs_sim: --seeds is ignored with --replay (one trace, one run)";
+        if timeline_file <> "" then
+          prerr_endline
+            "rofs_sim: --timeline is ignored with --replay (timelines cover the \
+             stochastic throughput protocol)";
         if shards <> None then
           prerr_endline
             "rofs_sim: --shards is ignored with --replay (a trace replays as one serial \
@@ -323,6 +347,10 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed s
       else if seeds <> [] then begin
         if record_file <> "" then
           prerr_endline "rofs_sim: --record is ignored with --seeds (traces do not merge)";
+        if timeline_file <> "" then
+          prerr_endline
+            "rofs_sim: --timeline is ignored with --seeds (timelines do not merge across \
+             seeds)";
         if shards <> None then
           prerr_endline
             "rofs_sim: --shards is ignored with --seeds (per-seed cells already run on \
@@ -333,7 +361,8 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed s
         match shards with
         | Some shards ->
             run_sharded_cli ~config ~shards ~policy ~test ~json ~metrics_file ~trace_file
-              ~record_file ~ckpt_every ~ckpt_file ~resume_file spec workload
+              ~record_file ~timeline_file ~timeline_every ~ckpt_every ~ckpt_file
+              ~resume_file spec workload
         | None -> begin
         let ch = if json then stderr else stdout in
         let instrumented = json || metrics_file <> "" || trace_file <> "" in
@@ -354,7 +383,7 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed s
             Some (C.Experiment.run_allocation ~config spec workload)
           else None
         in
-        let application, sequential, fault_report, cache_report, drives =
+        let application, sequential, fault_report, cache_report, drives, timeline =
           if test = All || test = Throughput then begin
             (* Drive the engine directly (same protocol as
                Experiment.run_throughput) so the fault report and drive
@@ -365,6 +394,8 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed s
                 ~config spec workload
             in
             Option.iter (C.Engine.attach_obs engine) sink;
+            if timeline_file <> "" then
+              C.Engine.attach_timeline engine ~every_ms:timeline_every;
             (* Arm before restoring: Engine.restore replaces the event
                heap wholesale, so the snapshot's own tick chain (and
                cadence) wins over the freshly armed one — a resumed run
@@ -394,14 +425,21 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed s
               Some seq,
               faults_seen,
               C.Engine.cache_report engine,
-              Some (C.Engine.drive_reports engine) )
+              Some (C.Engine.drive_reports engine),
+              C.Engine.timeline engine )
           end
-          else (None, None, None, None, None)
+          else (None, None, None, None, None, None)
         in
         output_string ch
           (C.Report.summary ?faults:fault_report ?cache:cache_report ?drives
              ~workload:workload.C.Workload.name ~policy ~alloc ~application ~sequential ());
         flush ch;
+        if timeline_file <> "" then begin
+          match timeline with
+          | Some tl -> write_timeline_files timeline_file tl
+          | None ->
+              prerr_endline "rofs_sim: --timeline needs the throughput test; nothing written"
+        end;
         Option.iter
           (fun r ->
             C.Trace_codec.save_file record_file (C.Trace_recorder.trace r);
@@ -645,6 +683,28 @@ let record_arg =
          application test; with $(b,--replay) it writes the trace back out as executed, \
          a normalized copy that replays bit-identically.")
 
+let timeline_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "timeline" ] ~docv:"FILE"
+      ~doc:
+        "Write windowed time-series telemetry as a rofs-timeline-v1 JSON document to \
+         $(docv) and a flat CSV to $(docv).csv: per-window throughput and latency \
+         percentiles, per-drive utilization and queue depth, cache hit rates, fault and \
+         rebuild state, and allocator free-space gauges, sampled at absolute simulated \
+         times.  Needs $(b,--timeline-every).  The timeline is byte-identical at every \
+         $(b,--shards) count and across checkpoint/resume.  Ignored with $(b,--seeds) \
+         and $(b,--replay).")
+
+let timeline_every_arg =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "timeline-every" ] ~docv:"MS"
+      ~doc:
+        "Window width for $(b,--timeline) in simulated ms; windows are aligned to \
+         absolute multiples of $(docv) from time 0.")
+
 let ckpt_every_arg =
   Arg.(
     value
@@ -686,7 +746,7 @@ let cmd =
       $ readahead_arg $ scheduler_arg $ layout_arg $ scale_arg $ cache_mb_arg $ cache_policy_arg
       $ cache_write_arg $ mttf_arg $ mttr_arg $ media_error_rate_arg $ rebuild_rate_arg
       $ measure_ms_arg $ json_arg $ trace_arg $ metrics_arg $ replay_arg $ record_arg
-      $ ckpt_every_arg $ ckpt_file_arg $ resume_arg)
+      $ timeline_arg $ timeline_every_arg $ ckpt_every_arg $ ckpt_file_arg $ resume_arg)
 
 let usage_hint =
   "usage: rofs_sim [--policy P] [-w ts|tp|sc] [--layout L] [--scheduler S] [--test T] \

@@ -161,6 +161,14 @@ let create config ~total_units =
     let rec scan k = if k < 0 then 0 else if IntSet.is_empty t.free.(k) then scan (k - 1) else order_size k in
     scan t.max_order
   in
+  let free_hist () =
+    let acc = ref [] in
+    for k = t.max_order downto 0 do
+      let c = IntSet.cardinal t.free.(k) in
+      if c > 0 then acc := (order_size k, c) :: !acc
+    done;
+    !acc
+  in
   (* Checkpoint: free sets are functional values (assign), the file
      table is lookup-only (never folded), so re-adding its marshalled
      twin's bindings restores behaviour exactly. *)
@@ -189,6 +197,7 @@ let create config ~total_units =
     slice = (fun ~file ~off ~len -> File_extents.slice (the_file file).fx ~off ~len);
     free_units = (fun () -> t.free_units);
     largest_free;
+    free_hist;
     ckpt_save;
     ckpt_load;
   }

@@ -184,6 +184,19 @@ let create cfg ~total_units ~rng =
     slice = (fun ~file ~off ~len -> File_extents.slice (the_file file).fx ~off ~len);
     free_units = (fun () -> Free_tree.total_len t.tree);
     largest_free = (fun () -> Free_tree.max_len t.tree);
+    free_hist =
+      (fun () ->
+        (* [by_size] iterates in (len, addr) order, so runs of equal
+           lengths are consecutive — group them into (size, count). *)
+        let pairs =
+          Size_set.fold
+            (fun (len, _addr) acc ->
+              match acc with
+              | (l, c) :: rest when l = len -> (l, c + 1) :: rest
+              | _ -> (len, 1) :: acc)
+            t.by_size []
+        in
+        List.rev pairs);
     ckpt_save;
     ckpt_load;
   }

@@ -93,6 +93,10 @@ let create cfg ~total_units ~rng =
     slice = (fun ~file ~off ~len -> File_extents.slice (the_file file).fx ~off ~len);
     free_units = (fun () -> Queue.length free_list * block_units);
     largest_free = (fun () -> if Queue.is_empty free_list then 0 else block_units);
+    free_hist =
+      (fun () ->
+        let n = Queue.length free_list in
+        if n = 0 then [] else [ (block_units, n) ]);
     ckpt_save;
     ckpt_load;
   }

@@ -301,6 +301,16 @@ let create cfg ~total_units =
     slice = (fun ~file ~off ~len -> File_extents.slice (the_file file).fx ~off ~len);
     free_units = (fun () -> free_units t);
     largest_free = (fun () -> max (head_space t) (if IntSet.is_empty t.clean then 0 else t.seg_units));
+    free_hist =
+      (fun () ->
+        (* Clean segments are seg-sized free extents; the head's unfilled
+           tail is one more (possibly seg-sized when the head is empty). *)
+        let clean = IntSet.cardinal t.clean in
+        let head = head_space t in
+        if head = 0 then if clean = 0 then [] else [ (t.seg_units, clean) ]
+        else if head = t.seg_units then [ (t.seg_units, clean + 1) ]
+        else if clean = 0 then [ (head, 1) ]
+        else [ (head, 1); (t.seg_units, clean) ]);
     ckpt_save;
     ckpt_load;
   }

@@ -13,6 +13,7 @@ type t = {
   slice : file:int -> off:int -> len:int -> Extent.t list;
   free_units : unit -> int;
   largest_free : unit -> int;
+  free_hist : unit -> (int * int) list;
   ckpt_save : unit -> string;
   ckpt_load : string -> unit;
 }

@@ -37,6 +37,13 @@ type t = {
   free_units : unit -> int;
   largest_free : unit -> int;
       (** Largest contiguous piece the policy could hand out right now. *)
+  free_hist : unit -> (int * int) list;
+      (** Snapshot of the free-space size distribution as
+          [(size_units, count)] pairs, strictly ascending in size, every
+          count positive, with [sum (size * count) = free_units ()].
+          Cheap — O(distinct sizes) for the list-structured policies,
+          O(free extents) for the extent tree — so the telemetry layer
+          can sample it every window. *)
   ckpt_save : unit -> string;
       (** Opaque serialization of the policy's complete mutable state
           (free structures, per-file extent maps, internal RNG streams),

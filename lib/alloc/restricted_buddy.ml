@@ -342,6 +342,14 @@ let create cfg ~total_units =
     let rec scan k = if k < 0 then 0 else if IntSet.is_empty t.free.(k) then scan (k - 1) else t.sizes.(k) in
     scan t.top
   in
+  let free_hist () =
+    let acc = ref [] in
+    for k = t.top downto 0 do
+      let c = IntSet.cardinal t.free.(k) in
+      if c > 0 then acc := (t.sizes.(k), c) :: !acc
+    done;
+    !acc
+  in
   let name =
     Printf.sprintf "restricted-buddy(%d sizes, g=%d, %s)" (top + 1) cfg.grow_factor
       (if cfg.clustered then "clustered" else "unclustered")
@@ -377,6 +385,7 @@ let create cfg ~total_units =
     slice = (fun ~file ~off ~len -> File_extents.slice (the_file file).fx ~off ~len);
     free_units = (fun () -> t.free_units);
     largest_free;
+    free_hist;
     ckpt_save;
     ckpt_load;
   }

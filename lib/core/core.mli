@@ -63,6 +63,7 @@ module Fault = Rofs_fault.State
 module Obs = Rofs_obs
 module Hist = Rofs_obs.Hist
 module Sink = Rofs_obs.Sink
+module Timeline = Rofs_obs.Timeline
 
 (** {1 Disk system} *)
 

@@ -65,6 +65,31 @@ let add t x =
   end;
   t.n <- t.n + 1
 
+(* Bulk add: [k] identical samples in one bucket update.  Used by the
+   timeline's free-extent snapshots, where the allocator reports
+   (size, count) pairs and adding one-by-one would be O(total extents). *)
+let add_n t x k =
+  if k < 0 then invalid_arg "Hist.add_n: negative count";
+  if k > 0 then begin
+    let x = if Float.is_nan x || x < 0. then 0. else x in
+    let v =
+      let scaled = x *. scale in
+      if scaled >= float_of_int max_int then max_int else int_of_float scaled
+    in
+    let i = index_of v in
+    t.counts.(i) <- t.counts.(i) + k;
+    t.sum <- t.sum +. (x *. float_of_int k);
+    if t.n = 0 then begin
+      t.minimum <- x;
+      t.maximum <- x
+    end
+    else begin
+      if x < t.minimum then t.minimum <- x;
+      if x > t.maximum then t.maximum <- x
+    end;
+    t.n <- t.n + k
+  end
+
 let count t = t.n
 let is_empty t = t.n = 0
 let total t = t.sum

@@ -25,6 +25,14 @@ val add : t -> float -> unit
     values are unit-agnostic (latencies in ms, distances in cylinders —
     anything non-negative with 1/1000 resolution). *)
 
+val add_n : t -> float -> int -> unit
+(** [add_n t x k] records [k] copies of [x] in O(1) — one bucket
+    update, [sum += x * k].  Bucket counts, [count], [min_value] and
+    [max_value] are exactly those of [k] calls to {!add}; [total] sums
+    [x *. k] in one step rather than [k] additions, so it can differ
+    from the loop in the last float bit.  [k = 0] is a no-op; negative
+    [k] raises [Invalid_argument]. *)
+
 val count : t -> int
 val is_empty : t -> bool
 val total : t -> float

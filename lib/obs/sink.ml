@@ -295,6 +295,21 @@ let to_json t =
       ]
     end
   in
+  (* Likewise the trace member: only traced runs carry it, so the
+     frozen key set of untraced metrics documents is unchanged. *)
+  let trace =
+    match t.trace with
+    | None -> []
+    | Some ring ->
+        [
+          ( "trace",
+            Json.Obj
+              [
+                ("events", Json.Int (Trace.length ring));
+                ("dropped", Json.Int (Trace.dropped ring));
+              ] );
+        ]
+  in
   Json.Obj
     ([
        ("latency_ms", hist_json t.latency);
@@ -305,4 +320,4 @@ let to_json t =
        ("fault_penalty_ms", hist_json t.fault_penalty);
        ("drives", Json.Arr drives);
      ]
-    @ cache)
+    @ cache @ trace)

@@ -109,6 +109,8 @@ val hist_json : Hist.t -> Json.t
 (** Summary object: [count], [mean], [min], [max], [p50/p90/p99/p999]. *)
 
 val to_json : t -> Json.t
-(** Full metrics document: the six histograms plus a [drives] array,
-    and — only when cache counters were recorded — a [cache] object
-    with hit/miss/eviction counts and the hit rate. *)
+(** Full metrics document: the six histograms plus a [drives] array;
+    only when cache counters were recorded, a [cache] object with
+    hit/miss/eviction counts and the hit rate; only when an event ring
+    is attached, a [trace] object with held-event and dropped-event
+    counts (so a truncated trace is visibly truncated). *)

@@ -1,0 +1,444 @@
+(* Windowed time-series telemetry (see timeline.mli for the model).
+
+   Windows are aligned to absolute simulated time: window [k] covers
+   [k * every_ms, (k+1) * every_ms).  The engine feeds two streams:
+   per-completion latencies (attributed to the window containing the
+   completion timestamp, which the synchronous fast path can place
+   beyond the currently open window) and one cumulative [sample] per
+   tick, from which the closing window's counter deltas are taken.
+   Everything is integer counters, per-window histograms or documented
+   gauge rules, so merging slice timelines elementwise is exact. *)
+
+type sample = {
+  s_io_ops : int;
+  s_alloc_ops : int;
+  s_bytes_moved : int;
+  s_disk_fulls : int;
+  s_data_loss : int;
+  s_rebuild_ios : int;
+  s_cache_lookups : int;
+  s_cache_hits : int;
+  s_cache_misses : int;
+  s_cache_writeback_bytes : int;
+  s_cache_prefetched : int;
+  s_drive_busy_ms : float array;
+  s_queue_depths : int array;
+  s_failed_drives : int;
+  s_rebuilding_drives : int;
+  s_used_units : int;
+  s_total_units : int;
+  s_free_units : int;
+  s_largest_free : int;
+  s_free_hist : (int * int) list;
+}
+
+let free_extents_of pairs = List.fold_left (fun acc (_, c) -> acc + c) 0 pairs
+
+type window = {
+  w_index : int;
+  w_io_ops : int;
+  w_alloc_ops : int;
+  w_bytes : int;
+  w_disk_fulls : int;
+  w_data_loss : int;
+  w_rebuild_ios : int;
+  w_cache_lookups : int;
+  w_cache_hits : int;
+  w_cache_misses : int;
+  w_cache_writeback_bytes : int;
+  w_cache_prefetched : int;
+  w_latency : Hist.t;
+  w_drive_busy_ms : float array;
+  w_queue_depths : int array;
+  w_failed_drives : int;
+  w_rebuilding_drives : int;
+  w_used_units : int;
+  w_total_units : int;
+  w_free_units : int;
+  w_largest_free : int;
+  w_free_extents : int;
+  w_free_sizes : Hist.t;
+}
+
+type t = {
+  every_ms : float;
+  mutable closed_rev : window list;
+  mutable nclosed : int;
+  mutable lat : Hist.t array;  (* per-window latency, indexed by window *)
+  mutable prev : sample;  (* cumulative baseline of the open window *)
+}
+
+let create ~every_ms ~baseline =
+  if every_ms <= 0. then invalid_arg "Timeline.create: every_ms must be positive";
+  { every_ms; closed_rev = []; nclosed = 0; lat = [||]; prev = baseline }
+
+let every_ms t = t.every_ms
+let window_count t = t.nclosed
+
+let lat_hist t idx =
+  let len = Array.length t.lat in
+  if idx >= len then begin
+    let grown = Array.init (max (idx + 1) (max 8 (2 * len))) (fun _ -> Hist.create ()) in
+    Array.blit t.lat 0 grown 0 len;
+    t.lat <- grown
+  end;
+  t.lat.(idx)
+
+let record_latency t ~at v =
+  (* The synchronous fast path records an operation when it is issued,
+     with a completion time possibly several windows ahead — attribute
+     by the completion timestamp, not the call time.  [max nclosed]
+     guards the (never expected) case of a timestamp behind the open
+     window; a closed window cannot be amended. *)
+  let idx = max t.nclosed (int_of_float (at /. t.every_ms)) in
+  Hist.add (lat_hist t idx) v
+
+let free_sizes_hist pairs =
+  let h = Hist.create () in
+  List.iter (fun (size, count) -> Hist.add_n h (float_of_int size) count) pairs;
+  h
+
+let tick t sample =
+  let idx = t.nclosed in
+  let p = t.prev in
+  let busy =
+    Array.init (Array.length sample.s_drive_busy_ms) (fun d ->
+        sample.s_drive_busy_ms.(d)
+        -. (if d < Array.length p.s_drive_busy_ms then p.s_drive_busy_ms.(d) else 0.))
+  in
+  let w =
+    {
+      w_index = idx;
+      w_io_ops = sample.s_io_ops - p.s_io_ops;
+      w_alloc_ops = sample.s_alloc_ops - p.s_alloc_ops;
+      w_bytes = sample.s_bytes_moved - p.s_bytes_moved;
+      w_disk_fulls = sample.s_disk_fulls - p.s_disk_fulls;
+      w_data_loss = sample.s_data_loss - p.s_data_loss;
+      w_rebuild_ios = sample.s_rebuild_ios - p.s_rebuild_ios;
+      w_cache_lookups = sample.s_cache_lookups - p.s_cache_lookups;
+      w_cache_hits = sample.s_cache_hits - p.s_cache_hits;
+      w_cache_misses = sample.s_cache_misses - p.s_cache_misses;
+      w_cache_writeback_bytes = sample.s_cache_writeback_bytes - p.s_cache_writeback_bytes;
+      w_cache_prefetched = sample.s_cache_prefetched - p.s_cache_prefetched;
+      w_latency =
+        (if idx < Array.length t.lat then t.lat.(idx) else Hist.create ());
+      w_drive_busy_ms = busy;
+      w_queue_depths = Array.copy sample.s_queue_depths;
+      w_failed_drives = sample.s_failed_drives;
+      w_rebuilding_drives = sample.s_rebuilding_drives;
+      w_used_units = sample.s_used_units;
+      w_total_units = sample.s_total_units;
+      w_free_units = sample.s_free_units;
+      w_largest_free = sample.s_largest_free;
+      w_free_extents = free_extents_of sample.s_free_hist;
+      w_free_sizes = free_sizes_hist sample.s_free_hist;
+    }
+  in
+  t.closed_rev <- w :: t.closed_rev;
+  t.nclosed <- idx + 1;
+  t.prev <- sample
+
+(* ------------------------------------------------------------------ *)
+(* Merge                                                               *)
+
+(* Merge rules (the documented contract, pinned by the shard goldens):
+   counters and byte deltas sum; latency and free-size histograms merge
+   bucket-wise ([Hist.merge]); per-drive arrays concatenate in argument
+   order (slice 0's drives first, matching the fault report's
+   drive-state rule); used/total/free units and free-extent counts sum
+   (the slices manage disjoint sub-volumes); [largest_free] takes the
+   max; failed/rebuilding drive counts sum.  A timeline that closed
+   fewer windows than its peer contributes, for each missing window,
+   zero deltas, an empty latency histogram, and the gauge values of its
+   final cumulative sample — a finished slice's free space no longer
+   changes, so its last observation stands. *)
+
+let combine_windows a b =
+  {
+    w_index = a.w_index;
+    w_io_ops = a.w_io_ops + b.w_io_ops;
+    w_alloc_ops = a.w_alloc_ops + b.w_alloc_ops;
+    w_bytes = a.w_bytes + b.w_bytes;
+    w_disk_fulls = a.w_disk_fulls + b.w_disk_fulls;
+    w_data_loss = a.w_data_loss + b.w_data_loss;
+    w_rebuild_ios = a.w_rebuild_ios + b.w_rebuild_ios;
+    w_cache_lookups = a.w_cache_lookups + b.w_cache_lookups;
+    w_cache_hits = a.w_cache_hits + b.w_cache_hits;
+    w_cache_misses = a.w_cache_misses + b.w_cache_misses;
+    w_cache_writeback_bytes = a.w_cache_writeback_bytes + b.w_cache_writeback_bytes;
+    w_cache_prefetched = a.w_cache_prefetched + b.w_cache_prefetched;
+    w_latency = Hist.merge a.w_latency b.w_latency;
+    w_drive_busy_ms = Array.append a.w_drive_busy_ms b.w_drive_busy_ms;
+    w_queue_depths = Array.append a.w_queue_depths b.w_queue_depths;
+    w_failed_drives = a.w_failed_drives + b.w_failed_drives;
+    w_rebuilding_drives = a.w_rebuilding_drives + b.w_rebuilding_drives;
+    w_used_units = a.w_used_units + b.w_used_units;
+    w_total_units = a.w_total_units + b.w_total_units;
+    w_free_units = a.w_free_units + b.w_free_units;
+    w_largest_free = max a.w_largest_free b.w_largest_free;
+    w_free_extents = a.w_free_extents + b.w_free_extents;
+    w_free_sizes = Hist.merge a.w_free_sizes b.w_free_sizes;
+  }
+
+(* The stand-in for a window a finished timeline never closed: gauges
+   from its final sample, everything rate-like zero. *)
+let tail_window t idx =
+  let p = t.prev in
+  {
+    w_index = idx;
+    w_io_ops = 0;
+    w_alloc_ops = 0;
+    w_bytes = 0;
+    w_disk_fulls = 0;
+    w_data_loss = 0;
+    w_rebuild_ios = 0;
+    w_cache_lookups = 0;
+    w_cache_hits = 0;
+    w_cache_misses = 0;
+    w_cache_writeback_bytes = 0;
+    w_cache_prefetched = 0;
+    w_latency = Hist.create ();
+    w_drive_busy_ms = Array.make (Array.length p.s_drive_busy_ms) 0.;
+    w_queue_depths = Array.copy p.s_queue_depths;
+    w_failed_drives = p.s_failed_drives;
+    w_rebuilding_drives = p.s_rebuilding_drives;
+    w_used_units = p.s_used_units;
+    w_total_units = p.s_total_units;
+    w_free_units = p.s_free_units;
+    w_largest_free = p.s_largest_free;
+    w_free_extents = free_extents_of p.s_free_hist;
+    w_free_sizes = free_sizes_hist p.s_free_hist;
+  }
+
+(* Sum two sorted (size, count) free-space distributions. *)
+let rec merge_free_hists a b =
+  match (a, b) with
+  | [], rest | rest, [] -> rest
+  | (sa, ca) :: ta, (sb, _) :: _ when sa < sb -> (sa, ca) :: merge_free_hists ta b
+  | (sa, _) :: _, (sb, cb) :: tb when sb < sa -> (sb, cb) :: merge_free_hists a tb
+  | (sa, ca) :: ta, (_, cb) :: tb -> (sa, ca + cb) :: merge_free_hists ta tb
+
+let combine_samples a b =
+  {
+    s_io_ops = a.s_io_ops + b.s_io_ops;
+    s_alloc_ops = a.s_alloc_ops + b.s_alloc_ops;
+    s_bytes_moved = a.s_bytes_moved + b.s_bytes_moved;
+    s_disk_fulls = a.s_disk_fulls + b.s_disk_fulls;
+    s_data_loss = a.s_data_loss + b.s_data_loss;
+    s_rebuild_ios = a.s_rebuild_ios + b.s_rebuild_ios;
+    s_cache_lookups = a.s_cache_lookups + b.s_cache_lookups;
+    s_cache_hits = a.s_cache_hits + b.s_cache_hits;
+    s_cache_misses = a.s_cache_misses + b.s_cache_misses;
+    s_cache_writeback_bytes = a.s_cache_writeback_bytes + b.s_cache_writeback_bytes;
+    s_cache_prefetched = a.s_cache_prefetched + b.s_cache_prefetched;
+    s_drive_busy_ms = Array.append a.s_drive_busy_ms b.s_drive_busy_ms;
+    s_queue_depths = Array.append a.s_queue_depths b.s_queue_depths;
+    s_failed_drives = a.s_failed_drives + b.s_failed_drives;
+    s_rebuilding_drives = a.s_rebuilding_drives + b.s_rebuilding_drives;
+    s_used_units = a.s_used_units + b.s_used_units;
+    s_total_units = a.s_total_units + b.s_total_units;
+    s_free_units = a.s_free_units + b.s_free_units;
+    s_largest_free = max a.s_largest_free b.s_largest_free;
+    s_free_hist = merge_free_hists a.s_free_hist b.s_free_hist;
+  }
+
+let merge a b =
+  if a.every_ms <> b.every_ms then invalid_arg "Timeline.merge: window width mismatch";
+  let wa = Array.of_list (List.rev a.closed_rev) in
+  let wb = Array.of_list (List.rev b.closed_rev) in
+  let n = max (Array.length wa) (Array.length wb) in
+  let closed_rev = ref [] in
+  for i = 0 to n - 1 do
+    let x = if i < Array.length wa then wa.(i) else tail_window a i in
+    let y = if i < Array.length wb then wb.(i) else tail_window b i in
+    closed_rev := combine_windows x y :: !closed_rev
+  done;
+  {
+    every_ms = a.every_ms;
+    closed_rev = !closed_rev;
+    nclosed = n;
+    lat = [||];  (* a merged timeline is read-only: no open window *)
+    prev = combine_samples a.prev b.prev;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint                                                          *)
+
+let ckpt_save t =
+  Marshal.to_string (t.every_ms, t.closed_rev, t.nclosed, t.lat, t.prev) []
+
+let ckpt_load t blob =
+  let every_ms, closed_rev, nclosed, lat, prev =
+    (Marshal.from_string blob 0
+      : float * window list * int * Hist.t array * sample)
+  in
+  if every_ms <> t.every_ms then
+    invalid_arg "Timeline.ckpt_load: window width mismatch (resume must use the original cadence)";
+  t.closed_rev <- closed_rev;
+  t.nclosed <- nclosed;
+  t.lat <- lat;
+  t.prev <- prev
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+
+let schema = "rofs-timeline-v1"
+
+let window_json t w =
+  let util =
+    if w.w_total_units > 0 then float_of_int w.w_used_units /. float_of_int w.w_total_units
+    else 0.
+  in
+  Json.Obj
+    [
+      ("index", Json.Int w.w_index);
+      ("t_start_ms", Json.Float (float_of_int w.w_index *. t.every_ms));
+      ("t_end_ms", Json.Float (float_of_int (w.w_index + 1) *. t.every_ms));
+      ("io_ops", Json.Int w.w_io_ops);
+      ("alloc_ops", Json.Int w.w_alloc_ops);
+      ("bytes", Json.Int w.w_bytes);
+      ("disk_fulls", Json.Int w.w_disk_fulls);
+      ("latency_ms", Sink.hist_json w.w_latency);
+      ( "cache",
+        Json.Obj
+          [
+            ("lookups", Json.Int w.w_cache_lookups);
+            ("hits", Json.Int w.w_cache_hits);
+            ("misses", Json.Int w.w_cache_misses);
+            ("writeback_bytes", Json.Int w.w_cache_writeback_bytes);
+            ("prefetched_pages", Json.Int w.w_cache_prefetched);
+          ] );
+      ( "fault",
+        Json.Obj
+          [
+            ("failed_drives", Json.Int w.w_failed_drives);
+            ("rebuilding_drives", Json.Int w.w_rebuilding_drives);
+            ("rebuild_ios", Json.Int w.w_rebuild_ios);
+            ("data_loss", Json.Int w.w_data_loss);
+          ] );
+      ( "alloc",
+        Json.Obj
+          [
+            ("used_units", Json.Int w.w_used_units);
+            ("total_units", Json.Int w.w_total_units);
+            ("utilization", Json.Float util);
+            ("free_units", Json.Int w.w_free_units);
+            ("largest_free_units", Json.Int w.w_largest_free);
+            ("free_extents", Json.Int w.w_free_extents);
+            ("free_size_units", Sink.hist_json w.w_free_sizes);
+          ] );
+      ( "drives",
+        Json.Arr
+          (Array.to_list
+             (Array.mapi
+                (fun d busy ->
+                  Json.Obj
+                    [
+                      ("drive", Json.Int d);
+                      ("busy_ms", Json.Float busy);
+                      ( "queue_depth",
+                        Json.Int
+                          (if d < Array.length w.w_queue_depths then w.w_queue_depths.(d)
+                           else 0) );
+                    ])
+                w.w_drive_busy_ms)) );
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("every_ms", Json.Float t.every_ms);
+      ("windows", Json.Arr (List.rev_map (window_json t) t.closed_rev));
+    ]
+
+(* Flat CSV, one row per window; per-drive columns collapse to
+   mean / max so the width is independent of the array shape. *)
+let csv_header =
+  String.concat ","
+    [
+      "index";
+      "t_start_ms";
+      "t_end_ms";
+      "io_ops";
+      "alloc_ops";
+      "bytes";
+      "disk_fulls";
+      "lat_count";
+      "lat_mean_ms";
+      "lat_p50_ms";
+      "lat_p99_ms";
+      "cache_lookups";
+      "cache_hits";
+      "cache_misses";
+      "cache_writeback_bytes";
+      "cache_prefetched_pages";
+      "failed_drives";
+      "rebuilding_drives";
+      "rebuild_ios";
+      "data_loss";
+      "used_units";
+      "total_units";
+      "utilization";
+      "free_units";
+      "largest_free_units";
+      "free_extents";
+      "busy_ms_mean";
+      "busy_ms_max";
+      "queue_depth_mean";
+      "queue_depth_max";
+    ]
+
+let float_mean_max arr =
+  let n = Array.length arr in
+  if n = 0 then (0., 0.)
+  else begin
+    let sum = ref 0. and mx = ref arr.(0) in
+    Array.iter
+      (fun v ->
+        sum := !sum +. v;
+        if v > !mx then mx := v)
+      arr;
+    (!sum /. float_of_int n, !mx)
+  end
+
+let int_mean_max arr =
+  let n = Array.length arr in
+  if n = 0 then (0., 0)
+  else begin
+    let sum = ref 0 and mx = ref arr.(0) in
+    Array.iter
+      (fun v ->
+        sum := !sum + v;
+        if v > !mx then mx := v)
+      arr;
+    (float_of_int !sum /. float_of_int n, !mx)
+  end
+
+let to_csv t =
+  let buffer = Buffer.create 4096 in
+  Buffer.add_string buffer csv_header;
+  Buffer.add_char buffer '\n';
+  List.iter
+    (fun w ->
+      let busy_mean, busy_max = float_mean_max w.w_drive_busy_ms in
+      let qd_mean, qd_max = int_mean_max w.w_queue_depths in
+      let util =
+        if w.w_total_units > 0 then
+          float_of_int w.w_used_units /. float_of_int w.w_total_units
+        else 0.
+      in
+      Buffer.add_string buffer
+        (Printf.sprintf "%d,%g,%g,%d,%d,%d,%d,%d,%g,%g,%g,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%g,%d,%d,%d,%g,%g,%g,%d\n"
+           w.w_index
+           (float_of_int w.w_index *. t.every_ms)
+           (float_of_int (w.w_index + 1) *. t.every_ms)
+           w.w_io_ops w.w_alloc_ops w.w_bytes w.w_disk_fulls
+           (Hist.count w.w_latency) (Hist.mean w.w_latency) (Hist.p50 w.w_latency)
+           (Hist.p99 w.w_latency) w.w_cache_lookups w.w_cache_hits w.w_cache_misses
+           w.w_cache_writeback_bytes w.w_cache_prefetched w.w_failed_drives
+           w.w_rebuilding_drives w.w_rebuild_ios w.w_data_loss w.w_used_units
+           w.w_total_units util w.w_free_units w.w_largest_free w.w_free_extents
+           busy_mean busy_max qd_mean qd_max))
+    (List.rev t.closed_rev);
+  Buffer.contents buffer

@@ -78,7 +78,12 @@ let events t =
   done;
   List.stable_sort (fun a b -> Float.compare a.at_ms b.at_ms) !out
 
-let merge_into dst src = List.iter (record dst) (events src)
+(* Events [src] already dropped stay dropped: carry the count across so
+   a merged trace reports the union's true truncation, not just what
+   overflowed [dst]'s ring during the merge itself. *)
+let merge_into dst src =
+  List.iter (record dst) (events src);
+  dst.dropped <- dst.dropped + src.dropped
 
 let event_json e =
   Json.Obj
@@ -98,6 +103,17 @@ let to_jsonl t =
       Buffer.add_string buffer (Json.to_string (event_json e));
       Buffer.add_char buffer '\n')
     (events t);
+  (* Footer: a summary line so a truncated trace is visibly truncated.
+     Distinguished from event lines by its "trace_footer" key. *)
+  Buffer.add_string buffer
+    (Json.to_string
+       (Json.Obj
+          [
+            ("trace_footer", Json.Bool true);
+            ("events", Json.Int t.stored);
+            ("dropped", Json.Int t.dropped);
+          ]));
+  Buffer.add_char buffer '\n';
   Buffer.contents buffer
 
 (* Chrome trace-event format.  Timestamps are microseconds; the
@@ -160,4 +176,5 @@ let chrome_json t =
     [
       ("traceEvents", Json.Arr (meta @ body));
       ("displayTimeUnit", Json.Str "ms");
+      ("dropped", Json.Int t.dropped);
     ]

@@ -59,14 +59,20 @@ val events : t -> event list
 (** Held events sorted by [at_ms] (ties keep insertion order). *)
 
 val merge_into : t -> t -> unit
-(** [merge_into dst src] records all of [src]'s events into [dst]. *)
+(** [merge_into dst src] records all of [src]'s events into [dst] and
+    adds [src]'s dropped count to [dst]'s, so the merged trace reports
+    the union's true truncation. *)
 
 val ckpt_restore : dst:t -> src:t -> unit
 (** Overwrite [dst]'s ring and cursors with [src]'s, in place.  Raises
     [Invalid_argument] on a capacity mismatch. *)
 
 val to_jsonl : t -> string
-(** One compact JSON object per event, one per line, timestamp order. *)
+(** One compact JSON object per event, one per line, timestamp order,
+    terminated by a summary footer line
+    [{"trace_footer":true,"events":N,"dropped":D}] so a truncated trace
+    is visibly truncated. *)
 
 val chrome_json : t -> Json.t
-(** The trace as a Chrome trace-event document. *)
+(** The trace as a Chrome trace-event document, with a top-level
+    ["dropped"] member counting ring-evicted events. *)

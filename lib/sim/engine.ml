@@ -9,6 +9,7 @@ module Array_model = Rofs_disk.Array_model
 module Drive = Rofs_disk.Drive
 module Sink = Rofs_obs.Sink
 module Trc = Rofs_obs.Trace
+module Timeline = Rofs_obs.Timeline
 module Cache = Rofs_cache.Cache
 module File_type = Rofs_workload.File_type
 module Workload = Rofs_workload.Workload
@@ -156,8 +157,9 @@ type user = {
    scripted or drawn drive fail/repair from the fault plan; the next
    background rebuild I/O of a resynchronising drive; the buffer
    cache's periodic dirty-page flush (write-back mode only); on a
-   replay engine, the arrival of the next trace event; and, when
-   checkpointing is armed, the periodic snapshot tick. *)
+   replay engine, the arrival of the next trace event; when
+   checkpointing is armed, the periodic snapshot tick; and, when a
+   timeline is attached, the periodic telemetry sampling tick. *)
 and event =
   | Wake of user
   | Drive_done of int
@@ -166,6 +168,7 @@ and event =
   | Flush_tick
   | Replay_tick
   | Ckpt_tick
+  | Stat_tick
 
 (* What a queued-path operation completion unblocks: a user's think
    time, the next chunk of a drive's rebuild sweep (not before
@@ -327,6 +330,12 @@ type t = {
   mutable ckpt_every_ms : float;  (** <= 0 means disarmed *)
   mutable ckpt_next : float;
   mutable ckpt_hook : (unit -> unit) option;
+  (* Time-series telemetry.  Like checkpointing: [tl_every_ms <= 0]
+     means disarmed, and [tl_next] lives outside the heap because
+     [seed_events] clears it between phases. *)
+  mutable timeline : Timeline.t option;
+  mutable tl_every_ms : float;
+  mutable tl_next : float;
 }
 
 type drive_report = {
@@ -447,6 +456,75 @@ let set_checkpoint t ~every_ms hook =
   t.ckpt_next <- t.now +. every_ms;
   Heap.push t.heap ~prio:t.ckpt_next Ckpt_tick
 
+(* One telemetry observation: the engine's cumulative counters plus the
+   instantaneous gauges of every subsystem.  Pure reads — no RNG draws,
+   no state changes — so sampling never perturbs the simulation. *)
+let timeline_sample t =
+  let ndisks = Array_model.disks t.array in
+  let stats = Array_model.drive_stats t.array in
+  let bytes = ref 0 in
+  Array.iter (fun (s : Drive.stats) -> bytes := !bytes + s.Drive.bytes_moved) stats;
+  let failed = ref 0 and rebuilding = ref 0 in
+  for d = 0 to ndisks - 1 do
+    match Array_model.drive_state t.array ~drive:d with
+    | `Failed -> incr failed
+    | `Rebuilding _ -> incr rebuilding
+    | `Healthy -> ()
+  done;
+  let cache_lookups, cache_hits, cache_misses, cache_wb, cache_pf =
+    match t.cache with
+    | None -> (0, 0, 0, 0, 0)
+    | Some cache ->
+        let s = Cache.stats cache in
+        ( s.Cache.lookups,
+          s.Cache.hits,
+          s.Cache.misses,
+          s.Cache.writeback_bytes,
+          s.Cache.prefetched_pages )
+  in
+  let p = Volume.policy t.volume in
+  let total = p.Rofs_alloc.Policy.total_units in
+  let free = p.Rofs_alloc.Policy.free_units () in
+  {
+    Timeline.s_io_ops = t.io_ops;
+    s_alloc_ops = t.alloc_ops;
+    s_bytes_moved = !bytes;
+    s_disk_fulls = t.disk_fulls;
+    s_data_loss = t.data_loss;
+    s_rebuild_ios = t.rebuild_ios;
+    s_cache_lookups = cache_lookups;
+    s_cache_hits = cache_hits;
+    s_cache_misses = cache_misses;
+    s_cache_writeback_bytes = cache_wb;
+    s_cache_prefetched = cache_pf;
+    s_drive_busy_ms = Array.map (fun (s : Drive.stats) -> s.Drive.busy_ms) stats;
+    s_queue_depths = Array.init ndisks (fun d -> Array_model.pending t.array ~drive:d);
+    s_failed_drives = !failed;
+    s_rebuilding_drives = !rebuilding;
+    s_used_units = total - free;
+    s_total_units = total;
+    s_free_units = free;
+    s_largest_free = p.Rofs_alloc.Policy.largest_free ();
+    s_free_hist = p.Rofs_alloc.Policy.free_hist ();
+  }
+
+(* Arm windowed telemetry: every [every_ms] of simulated time a
+   [Stat_tick] fires and closes the next timeline window.  Must be
+   armed before the run starts (windows are aligned to absolute
+   simulated time from 0).  Like [set_checkpoint], arming perturbs heap
+   ties against an unarmed run, so the determinism contract is between
+   armed runs; runs without a timeline stay bit-exact against the
+   frozen goldens. *)
+let attach_timeline t ~every_ms =
+  if every_ms <= 0. then invalid_arg "Engine.attach_timeline: every_ms must be positive";
+  if t.timeline <> None then invalid_arg "Engine.attach_timeline: a timeline is already attached";
+  t.timeline <- Some (Timeline.create ~every_ms ~baseline:(timeline_sample t));
+  t.tl_every_ms <- every_ms;
+  t.tl_next <- t.now +. every_ms;
+  Heap.push t.heap ~prio:t.tl_next Stat_tick
+
+let timeline t = t.timeline
+
 (* Phase 2 of initialization: create every file at a size drawn uniform
    on (initial mean +- deviation); allocation requests are issued until
    the allocated length covers it.  As many files grow concurrently as
@@ -544,7 +622,10 @@ let seed_events t =
   (* The clear also dropped the armed checkpoint tick: re-post it at its
      scheduled time, keeping the snapshot cadence independent of phase
      boundaries. *)
-  if t.ckpt_every_ms > 0. then Heap.push t.heap ~prio:t.ckpt_next Ckpt_tick
+  if t.ckpt_every_ms > 0. then Heap.push t.heap ~prio:t.ckpt_next Ckpt_tick;
+  (* Same for the telemetry tick: windows stay aligned to absolute
+     simulated time across phase boundaries. *)
+  if t.tl_every_ms > 0. then Heap.push t.heap ~prio:t.tl_next Stat_tick
 
 let make cfg ~policy ~workload ~with_users =
   validate_config cfg;
@@ -642,6 +723,9 @@ let make cfg ~policy ~workload ~with_users =
       ckpt_every_ms = 0.;
       ckpt_next = 0.;
       ckpt_hook = None;
+      timeline = None;
+      tl_every_ms = 0.;
+      tl_next = 0.;
     }
   in
   (match t.fault_plan with Some plan -> t.pending_fault <- Fault_plan.pop plan | None -> ());
@@ -748,6 +832,9 @@ let do_io_raw t ~kind ~file ~off ~len =
               bytes = physical;
             }
         end);
+    (match t.timeline with
+    | None -> ()
+    | Some tl -> Timeline.record_latency tl ~at:finished (finished -. t.now));
     (* Credit bytes over the service window, not the queue wait. *)
     fl_push t ~issue:began ~finish:finished physical;
     Done finished
@@ -1142,6 +1229,10 @@ let apply_fault t = function
 (* Instrumentation for a queued-path operation that just completed with
    a waiter attached (user or replay session). *)
 let observe_queued_completion t op ~id ~finished =
+  (match t.timeline with
+  | None -> ()
+  | Some tl ->
+      Timeline.record_latency tl ~at:finished (finished -. Array_model.op_submitted op));
   match t.obs with
   | None -> ()
   | Some sink ->
@@ -1297,6 +1388,19 @@ let run_events t ~mode ~stop =
            t.ckpt_next <- time +. t.ckpt_every_ms;
            Heap.push t.heap ~prio:t.ckpt_next Ckpt_tick;
            match t.ckpt_hook with Some hook -> hook () | None -> ()
+         end);
+        loop ()
+      | Stat_tick ->
+        (* Like [Ckpt_tick]: never touches [t.now], never consults
+           [stop], and pushes the next tick before sampling so a
+           checkpoint taken by a later hook already carries the live
+           chain. *)
+        (if t.tl_every_ms > 0. then begin
+           t.tl_next <- time +. t.tl_every_ms;
+           Heap.push t.heap ~prio:t.tl_next Stat_tick;
+           match t.timeline with
+           | Some tl -> Timeline.tick tl (timeline_sample t)
+           | None -> ()
          end);
         loop ()
     end
@@ -1540,6 +1644,8 @@ type engine_ckpt = {
   ck_seq_report : throughput_report option;
   ck_ckpt_every : float;
   ck_ckpt_next : float;
+  ck_tl_every : float;
+  ck_tl_next : float;
 }
 
 let user_index t u =
@@ -1558,6 +1664,7 @@ let encode_event t = function
   | Flush_tick -> (4, 0)
   | Replay_tick -> (5, 0)
   | Ckpt_tick -> (6, 0)
+  | Stat_tick -> (7, 0)
 
 (* Decoding reuses the pooled event records, so a restored heap aliases
    exactly like a live one (one [Wake] per user, one [Drive_done] and
@@ -1571,6 +1678,7 @@ let decode_event t (tag, arg) =
   | 4 -> Flush_tick
   | 5 -> Replay_tick
   | 6 -> Ckpt_tick
+  | 7 -> Stat_tick
   | _ -> invalid_arg "snapshot: unknown event tag"
 
 let encode_waiter t = function
@@ -1669,6 +1777,8 @@ let checkpoint t =
       ck_seq_report = t.seq_report;
       ck_ckpt_every = t.ckpt_every_ms;
       ck_ckpt_next = t.ckpt_next;
+      ck_tl_every = t.tl_every_ms;
+      ck_tl_next = t.tl_next;
     }
   in
   [
@@ -1681,6 +1791,7 @@ let checkpoint t =
     ("fault_plan", Marshal.to_string (Option.map Fault_plan.ckpt_save t.fault_plan) []);
     ("cache", Marshal.to_string (Option.map Cache.ckpt_save t.cache) []);
     ("obs", Marshal.to_string (Option.map Sink.ckpt_save t.obs) []);
+    ("timeline", Marshal.to_string (Option.map Timeline.ckpt_save t.timeline) []);
   ]
 
 let restore t sections =
@@ -1714,6 +1825,11 @@ let restore t sections =
   | None, None -> ()
   | Some _, None -> invalid_arg "snapshot: the original run had no metrics sink attached"
   | None, Some _ -> invalid_arg "snapshot: the original run had a metrics sink attached");
+  (match (t.timeline, (Marshal.from_string (sec "timeline") 0 : string option)) with
+  | Some tl, Some blob -> Timeline.ckpt_load tl blob
+  | None, None -> ()
+  | Some _, None -> invalid_arg "snapshot: the original run had no timeline attached"
+  | None, Some _ -> invalid_arg "snapshot: the original run had a timeline attached");
   t.now <- ck.ck_now;
   Rng.assign ~dst:t.rng ~src:ck.ck_rng;
   Array.iteri
@@ -1777,6 +1893,10 @@ let restore t sections =
      no-op hook, keeping heap tie-breaking identical). *)
   if ck.ck_ckpt_every > 0. then t.ckpt_every_ms <- ck.ck_ckpt_every;
   t.ckpt_next <- ck.ck_ckpt_next;
+  (* Same rule for the telemetry cadence: the restored heap's tick
+     chain was scheduled under the snapshot's width, so it wins. *)
+  if ck.ck_tl_every > 0. then t.tl_every_ms <- ck.ck_tl_every;
+  t.tl_next <- ck.ck_tl_next;
   t.resuming <- true
 
 (* ------------------------------------------------------------------ *)
@@ -1851,6 +1971,7 @@ type sharded_report = {
   s_cache : cache_report option;
   s_fault : fault_report;
   s_sink : Sink.t option;
+  s_timeline : Timeline.t option;
   s_slices : int;
   s_shards : int;
 }
@@ -1862,6 +1983,7 @@ type slice_result = {
   sl_cache : cache_report option;
   sl_fault : fault_report;
   sl_sink : Sink.t option;
+  sl_timeline : Timeline.t option;
   sl_max_bw : float;
   sl_capacity : float;
   sl_files : int;
@@ -2010,8 +2132,23 @@ let merge_slice_sinks results =
     results;
   !acc
 
-let run_sharded ?(shards = 1) ?(instrument = false) ?(trace = false) ?ckpt_every_ms ?ckpt_save
-    ?ckpt_resume cfg ~policy ~workload =
+(* Fold slice timelines in fixed slice order, like the sinks: windows
+   merge elementwise (counters sum, histograms merge, per-drive columns
+   concatenate with slice 0's drives first), so the result is
+   byte-identical at every [--shards] width. *)
+let merge_slice_timelines results =
+  let acc = ref None in
+  Array.iter
+    (fun sl ->
+      match (sl.sl_timeline, !acc) with
+      | None, _ -> ()
+      | Some tl, None -> acc := Some tl
+      | Some tl, Some a -> acc := Some (Timeline.merge a tl))
+    results;
+  !acc
+
+let run_sharded ?(shards = 1) ?(instrument = false) ?(trace = false) ?timeline_every_ms
+    ?ckpt_every_ms ?ckpt_save ?ckpt_resume cfg ~policy ~workload =
   validate_config ~shards cfg;
   Workload.validate workload;
   if cfg.shard_slices > cfg.disks then
@@ -2032,8 +2169,11 @@ let run_sharded ?(shards = 1) ?(instrument = false) ?(trace = false) ?ckpt_every
     let sink = if instrument then Some (Sink.create ~trace ()) else None in
     Option.iter (attach_obs engine) sink;
     (* Arm before restoring: [restore] replaces the heap wholesale, so
-       the initial tick [set_checkpoint] posts is superseded by the
-       snapshot's own tick chain on resume. *)
+       the initial ticks [attach_timeline] / [set_checkpoint] post are
+       superseded by the snapshot's own tick chains on resume. *)
+    (match timeline_every_ms with
+    | Some every -> attach_timeline engine ~every_ms:every
+    | None -> ());
     (match (ckpt_every_ms, ckpt_save) with
     | Some every, Some save ->
         set_checkpoint engine ~every_ms:every (fun () -> save ~slice:i (checkpoint engine))
@@ -2056,6 +2196,7 @@ let run_sharded ?(shards = 1) ?(instrument = false) ?(trace = false) ?ckpt_every
       sl_cache = cache_report engine;
       sl_fault = fault_report engine;
       sl_sink = sink;
+      sl_timeline = engine.timeline;
       sl_max_bw = max_bandwidth_pct_base engine;
       sl_capacity = float_of_int (Array_model.capacity_bytes engine.array);
       sl_files =
@@ -2066,6 +2207,7 @@ let run_sharded ?(shards = 1) ?(instrument = false) ?(trace = false) ?ckpt_every
   in
   let results = Rofs_par.Pool.map ~jobs:shards run_slice (Array.init slices (fun i -> i)) in
   let s_sink = merge_slice_sinks results in
+  let s_timeline = merge_slice_timelines results in
   if slices = 1 then
     {
       s_application = results.(0).sl_app;
@@ -2073,6 +2215,7 @@ let run_sharded ?(shards = 1) ?(instrument = false) ?(trace = false) ?ckpt_every
       s_cache = results.(0).sl_cache;
       s_fault = results.(0).sl_fault;
       s_sink;
+      s_timeline;
       s_slices = 1;
       s_shards = shards;
     }
@@ -2083,6 +2226,7 @@ let run_sharded ?(shards = 1) ?(instrument = false) ?(trace = false) ?ckpt_every
       s_cache = merge_cache results;
       s_fault = merge_fault results;
       s_sink;
+      s_timeline;
       s_slices = slices;
       s_shards = shards;
     }

@@ -372,6 +372,11 @@ type sharded_report = {
   s_sink : Rofs_obs.Sink.t option;
       (** per-slice sinks folded with [Sink.merge] in slice order; [None]
           unless [instrument] *)
+  s_timeline : Rofs_obs.Timeline.t option;
+      (** per-slice timelines folded with [Timeline.merge] in slice
+          order (windows merge elementwise; per-drive columns
+          concatenate with slice 0's drives first); [None] unless
+          [timeline_every_ms] *)
   s_slices : int;  (** the decomposition width ([config.shard_slices]) *)
   s_shards : int;  (** the execution width actually used *)
 }
@@ -385,6 +390,7 @@ val run_sharded :
   ?shards:int ->
   ?instrument:bool ->
   ?trace:bool ->
+  ?timeline_every_ms:float ->
   ?ckpt_every_ms:float ->
   ?ckpt_save:(slice:int -> (string * string) list -> unit) ->
   ?ckpt_resume:(slice:int -> (string * string) list option) ->
@@ -400,6 +406,9 @@ val run_sharded :
     {!Experiment.run_sharded} supplies the standard spec-based builder.
     [instrument] attaches one sink per slice ([trace] additionally
     records each slice's bounded event trace) and merges them.
+    [timeline_every_ms] attaches one timeline per slice (windows
+    aligned to each slice's simulated clock, which all start at 0) and
+    merges them elementwise — byte-identical at every [shards] width.
 
     Checkpointing is per slice (a slice is a complete serial engine):
     with [ckpt_every_ms] and [ckpt_save] given, each slice arms
@@ -447,6 +456,25 @@ val attach_obs : t -> Rofs_obs.Sink.t -> unit
     point. *)
 
 val obs : t -> Rofs_obs.Sink.t option
+
+val attach_timeline : t -> every_ms:float -> unit
+(** Arm windowed time-series telemetry: every [every_ms] of simulated
+    time a sampling tick closes the next {!Rofs_obs.Timeline} window
+    (per-window op / byte / cache counters, a per-window latency
+    histogram, per-drive busy and queue-depth columns, fault state and
+    allocator free-space gauges).  Attach before running — windows are
+    aligned to absolute simulated time from 0.  Like {!set_checkpoint},
+    arming inserts tick events that can re-order simultaneous events
+    against an unarmed run, so the determinism contract is between
+    armed runs (the frozen goldens for runs {e without} a timeline are
+    untouched); when resuming, call this before {!restore} with the
+    original cadence — the snapshot's own tick chain supersedes the
+    initial tick.
+    @raise Invalid_argument if [every_ms <= 0] or a timeline is already
+    attached. *)
+
+val timeline : t -> Rofs_obs.Timeline.t option
+(** The attached timeline, for export after the run. *)
 
 val drive_reports : t -> drive_report array
 (** One report per drive, reflecting activity up to the current

@@ -54,9 +54,10 @@ let run_throughput ?config spec workload =
    [make_engine] exactly — capacity sized to the slice's sub-array,
    policy RNG seeded [slice seed + 0x5eed] — so a [shard_slices = 1]
    sharded run is byte-identical to [run_throughput]. *)
-let run_sharded ?(config = Engine.default_config) ?shards ?instrument ?trace ?ckpt_every_ms
-    ?ckpt_save ?ckpt_resume spec workload =
-  Engine.run_sharded ?shards ?instrument ?trace ?ckpt_every_ms ?ckpt_save ?ckpt_resume config
+let run_sharded ?(config = Engine.default_config) ?shards ?instrument ?trace
+    ?timeline_every_ms ?ckpt_every_ms ?ckpt_save ?ckpt_resume spec workload =
+  Engine.run_sharded ?shards ?instrument ?trace ?timeline_every_ms ?ckpt_every_ms ?ckpt_save
+    ?ckpt_resume config
     ~policy:(fun ~slice:_ (slice_cfg : Engine.config) _w ->
       let unit_bytes = spec_unit_bytes spec in
       let total_units = capacity_units slice_cfg ~unit_bytes in

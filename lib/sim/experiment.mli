@@ -47,6 +47,7 @@ val run_sharded :
   ?shards:int ->
   ?instrument:bool ->
   ?trace:bool ->
+  ?timeline_every_ms:float ->
   ?ckpt_every_ms:float ->
   ?ckpt_save:(slice:int -> (string * string) list -> unit) ->
   ?ckpt_resume:(slice:int -> (string * string) list option) ->
@@ -58,8 +59,8 @@ val run_sharded :
     from the slice seed exactly as {!make_engine} does).  The merged
     report is byte-identical at every [shards] count, and with
     [config.shard_slices = 1] byte-identical to {!run_throughput}.  The
-    [ckpt_*] hooks pass through to {!Engine.run_sharded}'s per-slice
-    checkpointing. *)
+    [timeline_every_ms] and [ckpt_*] options pass through to
+    {!Engine.run_sharded}'s per-slice telemetry and checkpointing. *)
 
 type obs_run = {
   o_application : Engine.throughput_report;

@@ -10,14 +10,29 @@
    - trace level: the ring drops oldest first, serialized events are
      time-ordered, and the Chrome document is valid JSON of the shape
      Perfetto loads;
+   - trace/sink merge edge cases: empty-vs-nonempty merges, rings at
+     every fill level, and dropped-count propagation through merges and
+     into the JSONL footer / Chrome document / sink JSON;
+   - timeline level: window deltas and completion-time attribution,
+     the documented merge rules (including the short-timeline tail
+     rule), checkpoint round-trips, and a QCheck property that merging
+     a partition of the event stream reproduces the whole timeline
+     byte-for-byte;
    - engine level: a schema golden pins the exact member names of the
-     report document, and an instrumented run reproduces, to the last
+     report document, an instrumented run reproduces, to the last
      bit, throughput goldens frozen before lib/obs existed — attaching
-     a sink (even with tracing) changes nothing. *)
+     a sink (even with tracing) changes nothing — and the engine's
+     timeline is byte-identical at every shard width (digest golden)
+     and across checkpoint/resume.
+
+   Regenerate the timeline digest golden after an intentional behavior
+   change with:
+     ROFS_GOLDEN_CAPTURE=1 dune exec test/test_obs.exe 2>/dev/null *)
 
 module C = Core
 module Hist = C.Hist
 module Sink = C.Sink
+module Timeline = C.Timeline
 module Json = C.Obs.Json
 module Trace = C.Obs.Trace
 module Policy = C.Sched_policy
@@ -264,6 +279,55 @@ let test_chrome_json_loads () =
           check_bool "has thread metadata" true (List.exists (fun e -> phase e = "M") events)
       | _ -> Alcotest.fail "missing traceEvents")
 
+(* Merging: an empty ring contributes nothing, a partially filled ring
+   contributes everything, an overfilled ring carries its dropped count
+   across, and overflow during the merge itself is counted as dropped
+   in the destination. *)
+let test_trace_merge_fill_levels_and_dropped () =
+  let dst = Trace.create ~capacity:4 () in
+  Trace.merge_into dst (Trace.create ~capacity:4 ());
+  check_int "empty src adds nothing" 0 (Trace.length dst);
+  check_int "empty src adds no drops" 0 (Trace.dropped dst);
+  let src = Trace.create ~capacity:4 () in
+  List.iter (fun t -> Trace.record src (ev t Trace.Arrival 0)) [ 1.; 2. ];
+  Trace.merge_into dst src;
+  check_int "partial src merges whole" 2 (Trace.length dst);
+  let src2 = Trace.create ~capacity:2 () in
+  List.iter (fun t -> Trace.record src2 (ev t Trace.Dispatch 1)) [ 3.; 4.; 5.; 6.; 7. ];
+  check_int "src2 overfilled" 3 (Trace.dropped src2);
+  Trace.merge_into dst src2;
+  check_int "dst holds the union" 4 (Trace.length dst);
+  check_int "src drops propagate" 3 (Trace.dropped dst);
+  let src3 = Trace.create ~capacity:4 () in
+  List.iter (fun t -> Trace.record src3 (ev t Trace.Completion 0)) [ 8.; 9.; 10. ];
+  Trace.merge_into dst src3;
+  check_int "ring stays capped" 4 (Trace.length dst);
+  check_int "merge overflow counts as dropped" 6 (Trace.dropped dst);
+  (* merging a nonempty trace into an empty one keeps everything *)
+  let fresh = Trace.create ~capacity:16 () in
+  Trace.merge_into fresh dst;
+  check_int "nonempty into empty keeps events" 4 (Trace.length fresh);
+  check_int "nonempty into empty keeps drops" 6 (Trace.dropped fresh)
+
+(* The truncation is visible in every serialization: the JSONL footer
+   line, the Chrome document's top-level member and the sink JSON's
+   trace block. *)
+let test_trace_dropped_exported () =
+  let tr = Trace.create ~capacity:2 () in
+  List.iter (fun t -> Trace.record tr (ev t Trace.Arrival 0)) [ 1.; 2.; 3.; 4.; 5. ];
+  let lines = String.split_on_char '\n' (String.trim (Trace.to_jsonl tr)) in
+  (match List.rev lines with
+  | footer :: _ -> (
+      match Json.parse footer with
+      | Ok doc ->
+          check_bool "footer marker" true (Json.member "trace_footer" doc = Some (Json.Bool true));
+          check_bool "footer events" true (Json.member "events" doc = Some (Json.Int 2));
+          check_bool "footer dropped" true (Json.member "dropped" doc = Some (Json.Int 3))
+      | Error e -> Alcotest.failf "footer is not JSON: %s" e)
+  | [] -> Alcotest.fail "empty jsonl");
+  check_bool "chrome dropped member" true
+    (Json.member "dropped" (Trace.chrome_json tr) = Some (Json.Int 3))
+
 (* ------------------------------------------------------------------ *)
 (* Sink                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -281,6 +345,207 @@ let test_sink_merge_counts () =
   check_int "drive axis widens to the larger sink" 3 (Sink.drive_count m);
   check_int "drive 0 seeks survive" 1 (Hist.count (Sink.drive_seek_dist m 0));
   check_int "drive 2 seeks survive" 1 (Hist.count (Sink.drive_seek_dist m 2))
+
+let test_sink_merge_empty_cases () =
+  let both_empty = Sink.merge (Sink.create ()) (Sink.create ()) in
+  check_int "empty + empty has no samples" 0 (Hist.count (Sink.latency both_empty));
+  let b = Sink.create () in
+  Sink.record_op b ~latency:5. ~queue_wait:1. ~seek:1. ~rotation:1. ~transfer:2.;
+  Sink.record_seek b ~drive:1 ~cylinders:10;
+  let left = Sink.merge (Sink.create ()) b and right = Sink.merge b (Sink.create ()) in
+  List.iter
+    (fun m ->
+      check_int "empty side is the identity" 1 (Hist.count (Sink.latency m));
+      check_exact_float "sample mass survives" 5. (Hist.total (Sink.latency m));
+      check_int "drive axis survives" 2 (Sink.drive_count m))
+    [ left; right ];
+  (* trace presence: merged sink carries a ring when either side does,
+     with both sides' events and drops *)
+  let traced = Sink.create ~trace:true ~trace_capacity:2 () in
+  List.iter
+    (fun t -> Sink.event traced (ev t Trace.Arrival 0))
+    [ 1.; 2.; 3. ];
+  let m = Sink.merge (Sink.create ()) traced in
+  (match Sink.trace_ref m with
+  | Some ring ->
+      check_int "merged ring holds the events" 2 (Trace.length ring);
+      check_int "merged ring carries drops" 1 (Trace.dropped ring)
+  | None -> Alcotest.fail "merge lost the trace ring");
+  (* the sink document exposes the trace block only when tracing *)
+  check_bool "traced doc has trace block" true
+    (Json.member "trace" (Sink.to_json m) <> None);
+  check_bool "untraced doc has no trace block" true
+    (Json.member "trace" (Sink.to_json b) = None)
+
+(* ------------------------------------------------------------------ *)
+(* Timeline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sample ?(io = 0) ?(alloc = 0) ?(bytes = 0) ?(lookups = 0) ?(hits = 0) ?(busy = [||])
+    ?(qd = [||]) ?(used = 0) ?(total = 0) ?(free = 0) ?(largest = 0) ?(fh = [])
+    ?(failed = 0) () =
+  {
+    Timeline.s_io_ops = io;
+    s_alloc_ops = alloc;
+    s_bytes_moved = bytes;
+    s_disk_fulls = 0;
+    s_data_loss = 0;
+    s_rebuild_ios = 0;
+    s_cache_lookups = lookups;
+    s_cache_hits = hits;
+    s_cache_misses = lookups - hits;
+    s_cache_writeback_bytes = 0;
+    s_cache_prefetched = 0;
+    s_drive_busy_ms = busy;
+    s_queue_depths = qd;
+    s_failed_drives = failed;
+    s_rebuilding_drives = 0;
+    s_used_units = used;
+    s_total_units = total;
+    s_free_units = free;
+    s_largest_free = largest;
+    s_free_hist = fh;
+  }
+
+let window i tl =
+  match Json.member "windows" (Timeline.to_json tl) with
+  | Some (Json.Arr ws) -> List.nth ws i
+  | _ -> Alcotest.fail "timeline has no windows"
+
+let wint w name =
+  match Json.member name w with
+  | Some (Json.Int v) -> v
+  | _ -> Alcotest.failf "window lacks int %s" name
+
+let wsub w outer name =
+  match Json.member outer w with
+  | Some o -> (
+      match Json.member name o with
+      | Some (Json.Int v) -> v
+      | _ -> Alcotest.failf "window lacks %s.%s" outer name)
+  | None -> Alcotest.failf "window lacks %s" outer
+
+(* Counters are per-window deltas of the cumulative sample; a latency
+   recorded with a completion timestamp past the open window lands in
+   the window containing the completion, even when it is recorded
+   before earlier windows close (the synchronous fast path). *)
+let test_timeline_deltas_and_attribution () =
+  let tl = Timeline.create ~every_ms:10. ~baseline:(sample ~io:5 ()) in
+  Timeline.record_latency tl ~at:3. 1.5;
+  Timeline.record_latency tl ~at:17. 2.5;
+  (* window 1, two windows ahead *)
+  Timeline.tick tl (sample ~io:8 ());
+  Timeline.tick tl (sample ~io:20 ());
+  check_int "two windows closed" 2 (Timeline.window_count tl);
+  let w0 = window 0 tl and w1 = window 1 tl in
+  check_int "window 0 delta vs baseline" 3 (wint w0 "io_ops");
+  check_int "window 1 delta vs window 0" 12 (wint w1 "io_ops");
+  check_int "latency attributed to window 0" 1 (wsub w0 "latency_ms" "count");
+  check_int "future completion attributed to window 1" 1 (wsub w1 "latency_ms" "count");
+  (* the CSV has a header plus one row per closed window *)
+  let csv_lines = String.split_on_char '\n' (String.trim (Timeline.to_csv tl)) in
+  check_int "csv rows" 3 (List.length csv_lines)
+
+(* The documented merge rules, including the tail rule: the shorter
+   timeline contributes zero deltas and its final gauges for the
+   windows it never closed. *)
+let test_timeline_merge_rules_and_tail () =
+  let a = Timeline.create ~every_ms:10. ~baseline:(sample ~busy:[| 0. |] ~qd:[| 0 |] ()) in
+  Timeline.tick a (sample ~io:1 ~used:10 ~largest:4 ~fh:[ (4, 1) ] ~busy:[| 2. |] ~qd:[| 1 |] ());
+  Timeline.tick a (sample ~io:3 ~used:12 ~largest:8 ~fh:[ (4, 3) ] ~busy:[| 5. |] ~qd:[| 2 |] ());
+  let b = Timeline.create ~every_ms:10. ~baseline:(sample ~busy:[| 0. |] ~qd:[| 0 |] ()) in
+  Timeline.tick b
+    (sample ~io:5 ~used:100 ~largest:16 ~fh:[ (4, 1); (16, 2) ] ~busy:[| 7. |] ~qd:[| 4 |]
+       ~failed:1 ());
+  let m = Timeline.merge a b in
+  check_int "merged window count is the max" 2 (Timeline.window_count m);
+  let w0 = window 0 m and w1 = window 1 m in
+  check_int "counters sum" 6 (wint w0 "io_ops");
+  check_int "gauges sum" 110 (wsub w0 "alloc" "used_units");
+  check_int "largest_free is the max" 16 (wsub w0 "alloc" "largest_free_units");
+  check_int "free extents sum" 4 (wsub w0 "alloc" "free_extents");
+  check_int "failed drives sum" 1 (wsub w0 "fault" "failed_drives");
+  (match Json.member "drives" w0 with
+  | Some (Json.Arr ds) -> check_int "drive columns concatenate" 2 (List.length ds)
+  | _ -> Alcotest.fail "merged window lacks drives");
+  (* tail: b closed one window, so window 1 takes a's delta plus b's
+     final gauges with zero deltas *)
+  check_int "tail contributes zero deltas" 2 (wint w1 "io_ops");
+  check_int "tail contributes final gauges" 112 (wsub w1 "alloc" "used_units");
+  check_int "tail failed gauge persists" 1 (wsub w1 "fault" "failed_drives");
+  (* width mismatch is refused *)
+  let c = Timeline.create ~every_ms:20. ~baseline:(sample ()) in
+  check_bool "merge refuses width mismatch" true
+    (try
+       ignore (Timeline.merge a c : Timeline.t);
+       false
+     with Invalid_argument _ -> true)
+
+(* Snapshot mid-stream, continue on a restored copy: byte-identical
+   JSON and CSV to the timeline that was never interrupted. *)
+let test_timeline_ckpt_roundtrip () =
+  let mk () = Timeline.create ~every_ms:10. ~baseline:(sample ()) in
+  let first tl =
+    Timeline.record_latency tl ~at:4. 1.;
+    Timeline.record_latency tl ~at:23. 7.;
+    Timeline.tick tl (sample ~io:4 ~used:5 ())
+  in
+  let second tl =
+    Timeline.record_latency tl ~at:15. 2.;
+    Timeline.tick tl (sample ~io:9 ~used:6 ());
+    Timeline.tick tl (sample ~io:11 ~used:6 ())
+  in
+  let full = mk () in
+  first full;
+  second full;
+  let head = mk () in
+  first head;
+  let blob = Timeline.ckpt_save head in
+  let resumed = mk () in
+  Timeline.ckpt_load resumed blob;
+  second resumed;
+  check_string "restored timeline continues byte-identically"
+    (Json.to_string (Timeline.to_json full))
+    (Json.to_string (Timeline.to_json resumed));
+  check_string "csv identical too" (Timeline.to_csv full) (Timeline.to_csv resumed);
+  (* cadence mismatch is refused *)
+  let other = Timeline.create ~every_ms:20. ~baseline:(sample ()) in
+  check_bool "load refuses width mismatch" true
+    (try
+       Timeline.ckpt_load other blob;
+       false
+     with Invalid_argument _ -> true)
+
+(* Shard-exactness at the library level: split an event stream in two,
+   build one timeline per half (each ticking its own cumulative
+   counters at the same absolute boundaries), merge — byte-identical
+   to the timeline built from the whole stream.  Window alignment to
+   absolute time is what makes the elementwise merge correct. *)
+let prop_timeline_partition_invariant =
+  QCheck.Test.make ~name:"merging a partition reproduces the whole timeline" ~count:150
+    QCheck.(
+      pair (int_range 1 6)
+        (list_of_size Gen.(int_range 0 80)
+           (pair (float_bound_inclusive 79.9) (float_bound_inclusive 50.))))
+    (fun (nwin, events) ->
+      let mk () = Timeline.create ~every_ms:10. ~baseline:(sample ()) in
+      let full = mk () and a = mk () and b = mk () in
+      List.iteri
+        (fun i (at, v) ->
+          Timeline.record_latency full ~at v;
+          Timeline.record_latency (if i mod 2 = 0 then a else b) ~at v)
+        events;
+      let count p bound =
+        List.length (List.filteri (fun i (at, _) -> p i && at < bound) events)
+      in
+      for k = 1 to nwin do
+        let bound = float_of_int k *. 10. in
+        Timeline.tick full (sample ~io:(count (fun _ -> true) bound) ());
+        Timeline.tick a (sample ~io:(count (fun i -> i mod 2 = 0) bound) ());
+        Timeline.tick b (sample ~io:(count (fun i -> i mod 2 = 1) bound) ())
+      done;
+      Json.to_string (Timeline.to_json (Timeline.merge a b))
+      = Json.to_string (Timeline.to_json full))
 
 (* ------------------------------------------------------------------ *)
 (* Report document schema golden                                       *)
@@ -417,42 +682,147 @@ let test_sweep_merge_job_invariant () =
   check_string "jobs=1 equals jobs=4" (doc 1) (doc 4)
 
 (* ------------------------------------------------------------------ *)
+(* Engine timeline: shard-exact and checkpoint-safe                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The acceptance contract, frozen: one sharded run's merged timeline is
+   byte-identical (JSON and CSV) at every --shards width, and its digest
+   matches the golden below. *)
+let timeline_digest_golden = "4a3890d4e5e107285504259932d5b174"
+
+let timeline_config = { (engine_config ~scheduler:Policy.Fcfs) with Engine.max_measure_ms = 10_000. }
+
+let sharded_timeline shards =
+  let r = Experiment.run_sharded ~config:timeline_config ~shards ~timeline_every_ms:1000. buddy mini_tp in
+  match r.Engine.s_timeline with
+  | Some tl -> (Json.to_string (Timeline.to_json tl), Timeline.to_csv tl)
+  | None -> Alcotest.fail "sharded run produced no timeline"
+
+let test_timeline_shard_width_invariant () =
+  let j1, c1 = sharded_timeline 1 in
+  List.iter
+    (fun shards ->
+      let j, c = sharded_timeline shards in
+      check_string (Printf.sprintf "json identical at shards=%d" shards) j1 j;
+      check_string (Printf.sprintf "csv identical at shards=%d" shards) c1 c)
+    [ 2; 4; 8 ];
+  check_string "digest matches frozen golden" timeline_digest_golden
+    (Digest.to_hex (Digest.string (j1 ^ c1)))
+
+(* Interrupted-and-resumed armed runs emit byte-identical timelines.
+   The resume protocol is arm-before-restore: re-attach the timeline at
+   the original cadence, then let the snapshot supersede the open-window
+   state with its own (it also carries the live Stat_tick chain, so no
+   set_checkpoint call is needed on the resumed engine). *)
+let timeline_run ?resume () =
+  let engine = Experiment.make_engine ~config:timeline_config buddy mini_tp in
+  Engine.attach_timeline engine ~every_ms:1000.;
+  let snap = ref None in
+  (match resume with
+  | Some sections -> Engine.restore engine sections
+  | None ->
+      Engine.set_checkpoint engine ~every_ms:2_000. (fun () ->
+          if !snap = None then snap := Some (Engine.checkpoint engine)));
+  Engine.fill_to_lower_bound engine;
+  ignore (Engine.run_application_test engine : Engine.throughput_report);
+  ignore (Engine.run_sequential_test engine : Engine.throughput_report);
+  let tl =
+    match Engine.timeline engine with
+    | Some tl -> tl
+    | None -> Alcotest.fail "armed engine lost its timeline"
+  in
+  (Json.to_string (Timeline.to_json tl) ^ "\n" ^ Timeline.to_csv tl, !snap)
+
+let test_timeline_ckpt_resume_identity () =
+  let full, snap = timeline_run () in
+  let sections =
+    match snap with Some s -> s | None -> Alcotest.fail "no snapshot captured"
+  in
+  let resumed, _ = timeline_run ~resume:sections () in
+  check_string "resumed timeline byte-identical to uninterrupted" full resumed;
+  (* a timeline-bearing snapshot does not restore into a plain engine *)
+  let plain = Experiment.make_engine ~config:timeline_config buddy mini_tp in
+  check_bool "timeline presence mismatch refused" true
+    (try
+       Engine.restore plain sections;
+       false
+     with Invalid_argument msg -> not (String.contains msg '\n'))
+
+let test_attach_timeline_refusals () =
+  let engine = Experiment.make_engine ~config:timeline_config buddy mini_tp in
+  check_bool "non-positive cadence refused" true
+    (try
+       Engine.attach_timeline engine ~every_ms:0.;
+       false
+     with Invalid_argument _ -> true);
+  Engine.attach_timeline engine ~every_ms:1000.;
+  check_bool "double attach refused" true
+    (try
+       Engine.attach_timeline engine ~every_ms:1000.;
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+
+let capture_goldens () =
+  (* regenerate [timeline_digest_golden] (see header comment) *)
+  let j1, c1 = sharded_timeline 1 in
+  Printf.printf "let timeline_digest_golden = %S\n" (Digest.to_hex (Digest.string (j1 ^ c1)))
 
 let () =
-  let quick name f = Alcotest.test_case name `Quick f in
-  let slow name f = Alcotest.test_case name `Slow f in
-  Alcotest.run "rofs_obs"
-    [
-      ( "hist",
-        [
-          quick "basics" test_hist_basics;
-          quick "empty quantiles are zero" test_hist_empty_quantiles;
-          quick "pool-built partitions merge to the whole" test_merge_on_pool;
-          QCheck_alcotest.to_alcotest prop_bucket_monotone;
-          QCheck_alcotest.to_alcotest prop_quantiles_ordered;
-          QCheck_alcotest.to_alcotest prop_merge_associative;
-          QCheck_alcotest.to_alcotest prop_merge_partition_invariant;
-        ] );
-      ( "json",
-        [
-          quick "parse basics" test_json_parse_basics;
-          quick "non-finite floats" test_json_non_finite;
-          QCheck_alcotest.to_alcotest prop_json_roundtrip;
-        ] );
-      ( "trace",
-        [
-          quick "ring drops oldest" test_trace_ring_drops_oldest;
-          quick "events time-ordered" test_trace_events_time_ordered;
-          quick "chrome document loads" test_chrome_json_loads;
-        ] );
-      ( "sink",
-        [
-          quick "merge adds samples" test_sink_merge_counts;
-          quick "report schema golden" test_report_json_schema_golden;
-        ] );
-      ( "engine",
-        [
-          slow "instrumented run matches frozen goldens" test_instrumented_run_matches_goldens;
-          slow "sweep merge is job-count invariant" test_sweep_merge_job_invariant;
-        ] );
-    ]
+  if Sys.getenv_opt "ROFS_GOLDEN_CAPTURE" <> None then capture_goldens ()
+  else
+    let quick name f = Alcotest.test_case name `Quick f in
+    let slow name f = Alcotest.test_case name `Slow f in
+    Alcotest.run "rofs_obs"
+      [
+        ( "hist",
+          [
+            quick "basics" test_hist_basics;
+            quick "empty quantiles are zero" test_hist_empty_quantiles;
+            quick "pool-built partitions merge to the whole" test_merge_on_pool;
+            QCheck_alcotest.to_alcotest prop_bucket_monotone;
+            QCheck_alcotest.to_alcotest prop_quantiles_ordered;
+            QCheck_alcotest.to_alcotest prop_merge_associative;
+            QCheck_alcotest.to_alcotest prop_merge_partition_invariant;
+          ] );
+        ( "json",
+          [
+            quick "parse basics" test_json_parse_basics;
+            quick "non-finite floats" test_json_non_finite;
+            QCheck_alcotest.to_alcotest prop_json_roundtrip;
+          ] );
+        ( "trace",
+          [
+            quick "ring drops oldest" test_trace_ring_drops_oldest;
+            quick "events time-ordered" test_trace_events_time_ordered;
+            quick "chrome document loads" test_chrome_json_loads;
+            quick "merge across fill levels propagates drops"
+              test_trace_merge_fill_levels_and_dropped;
+            quick "dropped exported in footer and chrome metadata"
+              test_trace_dropped_exported;
+          ] );
+        ( "sink",
+          [
+            quick "merge adds samples" test_sink_merge_counts;
+            quick "merge with empty sides" test_sink_merge_empty_cases;
+            quick "report schema golden" test_report_json_schema_golden;
+          ] );
+        ( "timeline",
+          [
+            quick "window deltas and latency attribution" test_timeline_deltas_and_attribution;
+            quick "merge rules and tail" test_timeline_merge_rules_and_tail;
+            quick "checkpoint roundtrip continues byte-identically"
+              test_timeline_ckpt_roundtrip;
+            quick "attach refusals" test_attach_timeline_refusals;
+            QCheck_alcotest.to_alcotest prop_timeline_partition_invariant;
+          ] );
+        ( "engine",
+          [
+            slow "instrumented run matches frozen goldens" test_instrumented_run_matches_goldens;
+            slow "sweep merge is job-count invariant" test_sweep_merge_job_invariant;
+            slow "sharded timeline is shard-width invariant" test_timeline_shard_width_invariant;
+            slow "interrupted timeline resumes byte-identically"
+              test_timeline_ckpt_resume_identity;
+          ] );
+      ]
