@@ -1,0 +1,137 @@
+(* Aging study (ROADMAP item 5): does the read-optimized verdict
+   survive production horizons?
+
+   Sears & van Ingen ("Fragmentation in Large Object Repositories")
+   show the pathologies separating allocation policies only emerge
+   after weeks of churn, and that *free-space* fragmentation predicts
+   degradation better than file fragmentation.  Each cell here fills a
+   volume to the paper's N = 90%, fast-forwards create/grow/delete
+   churn for the simulated horizon (fresh / one week / one month) with
+   the engine's allocator-only aging phase, then runs the standard
+   application + sequential measurement on the aged volume.
+
+   The aging phase compresses wall cost with [age_think_scale]: think
+   times stretch 4032x during aging only, so the month horizon costs
+   about 643 simulated seconds of real-rate churn and the week about
+   150 — the month cell really does churn ~4.3x more than the week
+   cell, it is not the same op stream relabeled.
+
+   Columns follow the paper's metrics plus the two aging-specific
+   probes this PR adds: the free-extent size distribution
+   ([Policy.free_hist] — count, median, largest) and the allocator's
+   write cost per user byte ([Policy.churn_stats] — only the
+   log-structured cleaner moves data; every read-optimized policy
+   holds 1.00x). *)
+
+module C = Core
+
+let week_ms = 604_800_000.
+let month_ms = 2_592_000_000.
+let think_scale = 4032.
+
+let ages = [ ("fresh", 0.); ("1 week", week_ms); ("1 month", month_ms) ]
+
+let policies workload =
+  [
+    ("restricted buddy", Common.rbuddy_selected);
+    ("extent (first fit)", Common.extent_selected workload);
+    ("fixed block", Common.fixed_spec workload);
+    ("log-structured", C.Experiment.Log_structured (C.Log_structured.config ()));
+  ]
+
+(* Free-extent size distribution summarized as (extent count, median
+   size, largest size), sizes in bytes. *)
+let hist_summary (p : C.Policy.t) =
+  let hist = p.C.Policy.free_hist () in
+  let count = List.fold_left (fun acc (_, c) -> acc + c) 0 hist in
+  let median =
+    let rec walk seen = function
+      | [] -> 0
+      | (size, c) :: rest -> if 2 * (seen + c) >= count then size else walk (seen + c) rest
+    in
+    if count = 0 then 0 else walk 0 hist
+  in
+  let largest = List.fold_left (fun acc (size, _) -> max acc size) 0 hist in
+  (count, median * p.C.Policy.unit_bytes, largest * p.C.Policy.unit_bytes)
+
+type cell = {
+  app : C.Engine.throughput_report;
+  seq : C.Engine.throughput_report;
+  churn : C.Policy.churn_stats;
+  free_extents : int;
+  median_free_bytes : int;
+  largest_free_bytes : int;
+  extents_per_file : float;
+}
+
+let run_cell (spec, workload, age_ms) =
+  let config = { !Common.config with C.Engine.age_ms; age_think_scale = think_scale } in
+  let engine = C.Experiment.make_engine ~config spec workload in
+  C.Engine.fill_to_lower_bound engine;
+  C.Engine.run_aging engine;
+  let app = C.Engine.run_application_test engine in
+  let seq = C.Engine.run_sequential_test engine in
+  let volume = C.Engine.volume engine in
+  let free_extents, median_free_bytes, largest_free_bytes = hist_summary (C.Volume.policy volume) in
+  {
+    app;
+    seq;
+    churn = C.Engine.churn_stats engine;
+    free_extents;
+    median_free_bytes;
+    largest_free_bytes;
+    extents_per_file = C.Volume.mean_extents_per_file volume;
+  }
+
+let run () =
+  Common.heading "Aging: allocator performance after a week / month of churn";
+  List.iter
+    (fun (workload : C.Workload.t) ->
+      let cells =
+        List.concat_map
+          (fun (pname, spec) -> List.map (fun (aname, age) -> (pname, aname, spec, age)) ages)
+          (policies workload)
+      in
+      let results =
+        Common.par_map
+          (fun (pname, aname, spec, age) -> (pname, aname, run_cell (spec, workload, age)))
+          cells
+      in
+      let t =
+        C.Table.create
+          ~header:
+            [
+              "policy"; "age"; "application"; "sequential"; "free extents"; "median free";
+              "largest free"; "extents/file"; "write cost";
+            ]
+      in
+      List.iter
+        (fun (pname, aname, cell) ->
+          C.Table.add_row t
+            [
+              pname;
+              aname;
+              Common.pct_points cell.app.C.Engine.pct_of_max;
+              Common.pct_points cell.seq.C.Engine.pct_of_max;
+              string_of_int cell.free_extents;
+              C.Units.to_string cell.median_free_bytes;
+              C.Units.to_string cell.largest_free_bytes;
+              Printf.sprintf "%.2f" cell.extents_per_file;
+              Printf.sprintf "%.3fx" (C.Policy.write_cost cell.churn);
+            ])
+        results;
+      Common.emit
+        ~title:(Printf.sprintf "Aging — %s workload (N = 90%%)" workload.C.Workload.name)
+        t)
+    [ C.Workload.ts; C.Workload.tp ];
+  Common.note
+    [
+      "";
+      "Shape checks: the variable-extent free lists shatter with age (the";
+      "extent policy most of all — a handful of free extents fresh, tens of";
+      "thousands after churn) while fixed block is aging-invariant by";
+      "construction; the read-optimized policies hold write cost 1.000x at";
+      "any horizon while the log-structured cleaner pays above it once churn";
+      "forces cleaning.  The Section 4 verdict is re-asked at each horizon:";
+      "restricted buddy vs extents after a month of churn, not minutes.";
+    ]

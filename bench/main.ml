@@ -29,6 +29,7 @@ let benches =
     ("replay", "allocator x cache policy on a recorded TP trace", Bench_replay.run);
     ("speed", "sharded-run speed: simulated ops per wall-second", Bench_speed.run);
     ("timeline", "windowed time series: stabilization, warm-up, fault dip", Bench_timeline.run);
+    ("aging", "allocator x workload x age: fresh / 1 week / 1 month churn", Bench_aging.run);
   ]
 
 let list_benches () =

@@ -62,6 +62,26 @@ let check_cache file doc =
       | Some _ -> problem file "cache.hit_rate outside [0, 1]"
       | None -> problem file "cache.hit_rate missing or non-numeric")
 
+(* A "churn" member (report or timeline window) carries allocator
+   write-cost accounting: non-negative counters and a write_cost >= 1
+   (the cleaner can only add traffic on top of the user's own). *)
+let check_churn file where doc =
+  match J.member "churn" doc with
+  | None -> ()
+  | Some c ->
+      List.iter
+        (fun name ->
+          match number (J.member name c) with
+          | Some v when v >= 0. -> ()
+          | Some _ -> problem file (where (Printf.sprintf "churn.%s is negative" name))
+          | None ->
+              problem file (where (Printf.sprintf "churn.%s missing or non-numeric" name)))
+        [ "user_units"; "moved_units"; "cleaner_passes" ];
+      (match number (J.member "write_cost" c) with
+      | Some w when w >= 1. -> ()
+      | Some _ -> problem file (where "churn.write_cost below 1")
+      | None -> problem file (where "churn.write_cost missing or non-numeric"))
+
 (* Bench documents carry typed table cells: every row value must be a
    string or a finite number.  A null row value is what the JSON
    emitter writes for NaN/Inf (and "1e999" parses to infinity), so
@@ -138,6 +158,10 @@ let check_timeline file doc =
           sub "fault" [ "failed_drives"; "rebuilding_drives"; "rebuild_ios"; "data_loss" ];
           sub "alloc"
             [ "used_units"; "total_units"; "free_units"; "largest_free_units"; "free_extents" ];
+          sub "churn"
+            [ "user_units"; "moved_units"; "cleaner_passes"; "user_units_total";
+              "moved_units_total" ];
+          check_churn file where w;
           (match J.member "alloc" w with
           | Some a -> (
               match number (J.member "utilization" a) with
@@ -211,6 +235,7 @@ let check_file file =
                 | None -> ())
             | _ -> (
                 check_cache file doc;
+                check_churn file (fun s -> s) doc;
                 match J.member "metrics" doc with
                 | Some m -> check_metrics file m
                 | None -> problem file "missing metrics object")));

@@ -186,13 +186,14 @@ let run_sharded_cli ~config ~shards ~policy ~test ~json ~metrics_file ~trace_fil
     else None
   in
   let cache_report = Option.bind sharded (fun r -> r.C.Engine.s_cache) in
+  let churn = Option.map (fun (r : C.Engine.sharded_report) -> r.C.Engine.s_churn) sharded in
   let sink =
     match sharded with
     | Some { C.Engine.s_sink = Some s; _ } -> Some s
     | _ -> if instrumented then Some (C.Sink.create ()) else None
   in
   output_string ch
-    (C.Report.summary ?faults:fault_report ?cache:cache_report
+    (C.Report.summary ?faults:fault_report ?cache:cache_report ?churn
        ~workload:workload.C.Workload.name ~policy ~alloc ~application ~sequential ());
   flush ch;
   if timeline_file <> "" then begin
@@ -208,8 +209,8 @@ let run_sharded_cli ~config ~shards ~policy ~test ~json ~metrics_file ~trace_fil
         print_endline
           (C.Obs.Json.to_string
              (C.Report.to_json ?alloc ?application ?sequential ?faults:fault_report
-                ?cache:cache_report ~metrics:sink ~workload:workload.C.Workload.name
-                ~policy ())))
+                ?cache:cache_report ~metrics:sink ?churn
+                ~workload:workload.C.Workload.name ~policy ())))
     sink
 
 (* --replay mode: drive a trace (text or binary, sniffed) through the
@@ -256,8 +257,9 @@ let run_replay ~config ~workload ~policy ~json ~metrics_file ~replay_file ~recor
 
 let run policy sizes grow unclustered fit ranges block workload_name test seed seeds jobs
     shards readahead scheduler layout scale cache_mb cache_policy cache_write mttf mttr
-    media_error_rate rebuild_rate measure_ms json trace_file metrics_file replay_file
-    record_file timeline_file timeline_every ckpt_every ckpt_file resume_file =
+    media_error_rate rebuild_rate measure_ms age_ms age_occupancy_pct json trace_file
+    metrics_file replay_file record_file timeline_file timeline_every ckpt_every ckpt_file
+    resume_file =
   match C.Workload.by_name workload_name with
   | None ->
       Printf.eprintf "unknown workload %S (expected ts, tp or sc)\n" workload_name;
@@ -293,6 +295,12 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed s
           Some
             (C.Cache.config ~mb:cache_mb ~policy:cache_policy ~write_mode:cache_write ())
       in
+      (* --age-occupancy is a percentage on the command line, a fraction
+         inside the engine; validate with the percent-phrased message
+         before the conversion can turn nonsense into a plausible
+         fraction. *)
+      let age_occupancy = age_occupancy_pct /. 100. in
+      C.Aging.validate ~age_ms ~occupancy:age_occupancy;
       let config =
         {
           C.Engine.default_config with
@@ -303,6 +311,8 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed s
           faults;
           cache;
           max_measure_ms = measure_ms;
+          age_ms;
+          age_occupancy;
         }
       in
       C.Engine.validate_config ?shards config;
@@ -333,6 +343,10 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed s
       if replay_file <> "" then begin
         if seeds <> [] then
           prerr_endline "rofs_sim: --seeds is ignored with --replay (one trace, one run)";
+        if age_ms > 0. then
+          prerr_endline
+            "rofs_sim: --age-ms is ignored with --replay (the trace already encodes the \
+             volume's history)";
         if timeline_file <> "" then
           prerr_endline
             "rofs_sim: --timeline is ignored with --replay (timelines cover the \
@@ -383,7 +397,7 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed s
             Some (C.Experiment.run_allocation ~config spec workload)
           else None
         in
-        let application, sequential, fault_report, cache_report, drives, timeline =
+        let application, sequential, fault_report, cache_report, drives, timeline, churn =
           if test = All || test = Throughput then begin
             (* Drive the engine directly (same protocol as
                Experiment.run_throughput) so the fault report and drive
@@ -408,6 +422,7 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed s
                | Ok sections -> C.Engine.restore engine sections
                | Error msg -> invalid_arg (Printf.sprintf "%s: %s" resume_file msg));
             C.Engine.fill_to_lower_bound engine;
+            C.Engine.run_aging engine;
             let app = C.Engine.run_application_test engine in
             (* The sequential test re-reads whole files; the recorded
                trace covers initialization + fill + application test,
@@ -426,12 +441,13 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed s
               faults_seen,
               C.Engine.cache_report engine,
               Some (C.Engine.drive_reports engine),
-              C.Engine.timeline engine )
+              C.Engine.timeline engine,
+              Some (C.Engine.churn_stats engine) )
           end
-          else (None, None, None, None, None, None)
+          else (None, None, None, None, None, None, None)
         in
         output_string ch
-          (C.Report.summary ?faults:fault_report ?cache:cache_report ?drives
+          (C.Report.summary ?faults:fault_report ?cache:cache_report ?drives ?churn
              ~workload:workload.C.Workload.name ~policy ~alloc ~application ~sequential ());
         flush ch;
         if timeline_file <> "" then begin
@@ -454,7 +470,7 @@ let run policy sizes grow unclustered fit ranges block workload_name test seed s
               print_endline
                 (C.Obs.Json.to_string
                    (C.Report.to_json ?alloc ?application ?sequential ?faults:fault_report
-                      ?cache:cache_report ?drives ~metrics:sink
+                      ?cache:cache_report ?drives ~metrics:sink ?churn
                       ~workload:workload.C.Workload.name ~policy ())))
           sink
       end
@@ -636,6 +652,29 @@ let measure_ms_arg =
     & info [ "measure-ms" ]
       ~doc:"Cap on measured simulated time per throughput test, in ms.")
 
+let age_ms_arg =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "age-ms" ] ~docv:"MS"
+      ~doc:
+        "Fast-forward aging: run $(docv) of simulated create/grow/delete churn between \
+         the fill phase and the measured tests, fragmenting the free list the way weeks \
+         of production churn would.  Aging epochs are allocator-only (no per-op disk \
+         events), so simulating a month costs minutes.  0 (the default) disables aging \
+         and leaves every result byte-identical to a simulator without it.  A \
+         reference: one simulated week is 604800000, one month 2592000000.")
+
+let age_occupancy_arg =
+  Arg.(
+    value
+    & opt float 90.
+    & info [ "age-occupancy" ] ~docv:"PCT"
+      ~doc:
+        "Target volume occupancy the aging churn oscillates around, in percent \
+         (strictly between 0 and 100, default 90): below it users grow files, at or \
+         above it they delete or truncate per their file type's deallocation mix.")
+
 let json_arg =
   Arg.(
     value & flag
@@ -745,14 +784,15 @@ let cmd =
       $ block_arg $ workload_arg $ test_arg $ seed_arg $ seeds_arg $ jobs_arg $ shards_arg
       $ readahead_arg $ scheduler_arg $ layout_arg $ scale_arg $ cache_mb_arg $ cache_policy_arg
       $ cache_write_arg $ mttf_arg $ mttr_arg $ media_error_rate_arg $ rebuild_rate_arg
-      $ measure_ms_arg $ json_arg $ trace_arg $ metrics_arg $ replay_arg $ record_arg
-      $ timeline_arg $ timeline_every_arg $ ckpt_every_arg $ ckpt_file_arg $ resume_arg)
+      $ measure_ms_arg $ age_ms_arg $ age_occupancy_arg $ json_arg $ trace_arg $ metrics_arg
+      $ replay_arg $ record_arg $ timeline_arg $ timeline_every_arg $ ckpt_every_arg
+      $ ckpt_file_arg $ resume_arg)
 
 let usage_hint =
   "usage: rofs_sim [--policy P] [-w ts|tp|sc] [--layout L] [--scheduler S] [--test T] \
-   [--shards N] [--cache-mb N] [--cache-policy P] [--cache-write M] [--mttf MS] \
-   [--mttr MS] [--media-error-rate P] [--rebuild-rate B] [--replay FILE] [--record FILE] \
-   -- see 'rofs_sim --help'"
+   [--shards N] [--age-ms MS] [--age-occupancy PCT] [--cache-mb N] [--cache-policy P] \
+   [--cache-write M] [--mttf MS] [--mttr MS] [--media-error-rate P] [--rebuild-rate B] \
+   [--replay FILE] [--record FILE] -- see 'rofs_sim --help'"
 
 (* Exit 2 with a one-line hint on bad input — a config mistake is the
    user's problem, not a crash: no OCaml backtrace, no multi-page

@@ -12,6 +12,7 @@ type t = {
   free : IntSet.t array;  (** free.(k): start addresses of free 2^k-unit blocks *)
   mutable free_units : int;
   files : (int, file) Hashtbl.t;
+  mutable user_units : int;  (** units handed out for user growth *)
 }
 
 let order_size k = 1 lsl k
@@ -49,6 +50,7 @@ let create config ~total_units =
       free = Array.make (max_order + 1) IntSet.empty;
       free_units = 0;
       files = Hashtbl.create 256;
+      user_units = 0;
     }
   in
   seed t;
@@ -132,6 +134,7 @@ let create config ~total_units =
         | None -> Error `Disk_full
         | Some addr ->
             File_extents.push f.fx (Extent.make ~addr ~len:(order_size k));
+            t.user_units <- t.user_units + order_size k;
             grow ()
       end
     in
@@ -172,15 +175,16 @@ let create config ~total_units =
   (* Checkpoint: free sets are functional values (assign), the file
      table is lookup-only (never folded), so re-adding its marshalled
      twin's bindings restores behaviour exactly. *)
-  let ckpt_save () = Marshal.to_string (t.free, t.free_units, t.files) [] in
+  let ckpt_save () = Marshal.to_string (t.free, t.free_units, t.files, t.user_units) [] in
   let ckpt_load blob =
-    let free, free_units, files =
-      (Marshal.from_string blob 0 : IntSet.t array * int * (int, file) Hashtbl.t)
+    let free, free_units, files, user_units =
+      (Marshal.from_string blob 0 : IntSet.t array * int * (int, file) Hashtbl.t * int)
     in
     Array.iteri (fun i s -> t.free.(i) <- s) free;
     t.free_units <- free_units;
     Hashtbl.reset t.files;
-    Hashtbl.iter (fun k v -> Hashtbl.replace t.files k v) files
+    Hashtbl.iter (fun k v -> Hashtbl.replace t.files k v) files;
+    t.user_units <- user_units
   in
   {
     Policy.name = "buddy";
@@ -198,6 +202,7 @@ let create config ~total_units =
     free_units = (fun () -> t.free_units);
     largest_free;
     free_hist;
+    churn_stats = (fun () -> { Policy.no_churn with cs_user_units = t.user_units });
     ckpt_save;
     ckpt_load;
   }

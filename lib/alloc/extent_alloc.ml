@@ -26,6 +26,7 @@ type t = {
   mutable by_size : Size_set.t;
   files : (int, file) Hashtbl.t;
   rng : Rofs_util.Rng.t;
+  mutable user_units : int;  (** units handed out for user growth *)
 }
 
 let insert_free t ~addr ~len =
@@ -101,6 +102,7 @@ let create cfg ~total_units ~rng =
       by_size = Size_set.empty;
       files = Hashtbl.create 256;
       rng;
+      user_units = 0;
     }
   in
   insert_free t ~addr:0 ~len:total_units;
@@ -123,6 +125,7 @@ let create cfg ~total_units ~rng =
         | None -> Error `Disk_full
         | Some addr ->
             File_extents.push f.fx (Extent.make ~addr ~len:f.extent_units);
+            t.user_units <- t.user_units + f.extent_units;
             grow ()
       end
     in
@@ -156,18 +159,19 @@ let create cfg ~total_units ~rng =
   (* Checkpoint: tree and by_size are functional (assign); the RNG is
      aliased by the engine's policy builder, so restore it in place. *)
   let ckpt_save () =
-    Marshal.to_string (t.tree, t.by_size, t.files, Rofs_util.Rng.copy t.rng) []
+    Marshal.to_string (t.tree, t.by_size, t.files, Rofs_util.Rng.copy t.rng, t.user_units) []
   in
   let ckpt_load blob =
-    let tree, by_size, files, rng =
+    let tree, by_size, files, rng, user_units =
       (Marshal.from_string blob 0
-        : Free_tree.t * Size_set.t * (int, file) Hashtbl.t * Rofs_util.Rng.t)
+        : Free_tree.t * Size_set.t * (int, file) Hashtbl.t * Rofs_util.Rng.t * int)
     in
     t.tree <- tree;
     t.by_size <- by_size;
     Hashtbl.reset t.files;
     Hashtbl.iter (fun k v -> Hashtbl.replace t.files k v) files;
-    Rofs_util.Rng.assign ~dst:t.rng ~src:rng
+    Rofs_util.Rng.assign ~dst:t.rng ~src:rng;
+    t.user_units <- user_units
   in
   {
     Policy.name;
@@ -197,6 +201,7 @@ let create cfg ~total_units ~rng =
             t.by_size []
         in
         List.rev pairs);
+    churn_stats = (fun () -> { Policy.no_churn with cs_user_units = t.user_units });
     ckpt_save;
     ckpt_load;
   }

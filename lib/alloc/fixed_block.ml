@@ -22,6 +22,7 @@ let create cfg ~total_units ~rng =
   let free_list = Queue.create () in
   Array.iter (fun addr -> Queue.add addr free_list) order;
   let files : (int, file) Hashtbl.t = Hashtbl.create 256 in
+  let user_units = ref 0 in
   let the_file file =
     match Hashtbl.find_opt files file with
     | Some f -> f
@@ -40,6 +41,7 @@ let create cfg ~total_units ~rng =
         | None -> Error `Disk_full
         | Some addr ->
             File_extents.push f.fx (Extent.make ~addr ~len:block_units);
+            user_units := !user_units + block_units;
             grow ()
       end
     in
@@ -68,15 +70,16 @@ let create cfg ~total_units ~rng =
   (* Checkpoint: the free list's FIFO order IS the allocation order, so
      restore transfers the marshalled twin element by element (Queue
      marshalling preserves order); the file table is lookup-only. *)
-  let ckpt_save () = Marshal.to_string (free_list, files) [] in
+  let ckpt_save () = Marshal.to_string (free_list, files, !user_units) [] in
   let ckpt_load blob =
-    let twin_free, twin_files =
-      (Marshal.from_string blob 0 : int Queue.t * (int, file) Hashtbl.t)
+    let twin_free, twin_files, twin_user =
+      (Marshal.from_string blob 0 : int Queue.t * (int, file) Hashtbl.t * int)
     in
     Queue.clear free_list;
     Queue.transfer twin_free free_list;
     Hashtbl.reset files;
-    Hashtbl.iter (fun k v -> Hashtbl.replace files k v) twin_files
+    Hashtbl.iter (fun k v -> Hashtbl.replace files k v) twin_files;
+    user_units := twin_user
   in
   {
     Policy.name = Printf.sprintf "fixed(%s)" (Rofs_util.Units.to_string cfg.block_bytes);
@@ -97,6 +100,7 @@ let create cfg ~total_units ~rng =
       (fun () ->
         let n = Queue.length free_list in
         if n = 0 then [] else [ (block_units, n) ]);
+    churn_stats = (fun () -> { Policy.no_churn with cs_user_units = !user_units });
     ckpt_save;
     ckpt_load;
   }

@@ -37,6 +37,9 @@ type t = {
   mutable clean : IntSet.t;
   mutable dirty : Dirty_set.t;  (** segments with any garbage, keyed by garbage volume *)
   files : (int, file) Hashtbl.t;
+  mutable user_units : int;  (** units appended for user growth *)
+  mutable moved_units : int;  (** live units the cleaner relocated *)
+  mutable cleaner_passes : int;  (** successful [clean_one] passes *)
 }
 
 let fresh_segment () = { live = 0; dead = 0; filled = 0; residents = Hashtbl.create 4 }
@@ -158,6 +161,7 @@ let clean_one t =
                     match append_whole t ~file:f e.Extent.len with
                     | Some fresh ->
                         seg.live <- seg.live - e.Extent.len;
+                        t.moved_units <- t.moved_units + e.Extent.len;
                         Some fresh.Extent.addr
                     | None ->
                         (* free_units was checked above; appends of
@@ -173,6 +177,7 @@ let clean_one t =
       Hashtbl.reset seg.residents;
       reindex_dirty t s ~old_dead;
       maybe_reclaim t s;
+      t.cleaner_passes <- t.cleaner_passes + 1;
       true
     end
 
@@ -203,6 +208,9 @@ let create cfg ~total_units =
       clean = IntSet.of_list (List.init nsegs (fun i -> i));
       dirty = Dirty_set.empty;
       files = Hashtbl.create 256;
+      user_units = 0;
+      moved_units = 0;
+      cleaner_passes = 0;
     }
   in
   ignore (switch_head t : bool);
@@ -238,6 +246,7 @@ let create cfg ~total_units =
           match append_whole t ~file len with
           | Some e ->
               File_extents.push f.fx e;
+              t.user_units <- t.user_units + e.Extent.len;
               grow ()
           | None -> Error `Disk_full
         end
@@ -271,19 +280,26 @@ let create cfg ~total_units =
      Hashtbl's internal structure verbatim).  The file table itself is
      lookup-only and re-adds safely. *)
   let ckpt_save () =
-    Marshal.to_string (t.segments, t.head, t.clean, t.dirty, t.files) []
+    Marshal.to_string
+      (t.segments, t.head, t.clean, t.dirty, t.files, t.user_units, t.moved_units,
+       t.cleaner_passes)
+      []
   in
   let ckpt_load blob =
-    let segments, head, clean, dirty, files =
+    let segments, head, clean, dirty, files, user_units, moved_units, cleaner_passes =
       (Marshal.from_string blob 0
-        : segment array * int * IntSet.t * Dirty_set.t * (int, file) Hashtbl.t)
+        : segment array * int * IntSet.t * Dirty_set.t * (int, file) Hashtbl.t * int * int
+          * int)
     in
     Array.iteri (fun i sg -> t.segments.(i) <- sg) segments;
     t.head <- head;
     t.clean <- clean;
     t.dirty <- dirty;
     Hashtbl.reset t.files;
-    Hashtbl.iter (fun k v -> Hashtbl.replace t.files k v) files
+    Hashtbl.iter (fun k v -> Hashtbl.replace t.files k v) files;
+    t.user_units <- user_units;
+    t.moved_units <- moved_units;
+    t.cleaner_passes <- cleaner_passes
   in
   {
     Policy.name =
@@ -311,6 +327,13 @@ let create cfg ~total_units =
         else if head = t.seg_units then [ (t.seg_units, clean + 1) ]
         else if clean = 0 then [ (head, 1) ]
         else [ (head, 1); (t.seg_units, clean) ]);
+    churn_stats =
+      (fun () ->
+        {
+          Policy.cs_user_units = t.user_units;
+          cs_moved_units = t.moved_units;
+          cs_cleaner_passes = t.cleaner_passes;
+        });
     ckpt_save;
     ckpt_load;
   }

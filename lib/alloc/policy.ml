@@ -1,3 +1,17 @@
+type churn_stats = {
+  cs_user_units : int;
+  cs_moved_units : int;
+  cs_cleaner_passes : int;
+}
+
+let no_churn = { cs_user_units = 0; cs_moved_units = 0; cs_cleaner_passes = 0 }
+
+let write_cost cs =
+  if cs.cs_user_units = 0 then 1.0
+  else
+    float_of_int (cs.cs_user_units + cs.cs_moved_units)
+    /. float_of_int cs.cs_user_units
+
 type t = {
   name : string;
   unit_bytes : int;
@@ -14,6 +28,7 @@ type t = {
   free_units : unit -> int;
   largest_free : unit -> int;
   free_hist : unit -> (int * int) list;
+  churn_stats : unit -> churn_stats;
   ckpt_save : unit -> string;
   ckpt_load : string -> unit;
 }

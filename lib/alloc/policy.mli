@@ -19,6 +19,27 @@
        allocation stays at or above [target];}
     {- [delete] frees everything and forgets the file.}} *)
 
+type churn_stats = {
+  cs_user_units : int;
+      (** Units appended on behalf of user growth ([ensure]) since the
+          policy was created (or its counters were last restored). *)
+  cs_moved_units : int;
+      (** Units of {e live} data the policy relocated internally —
+          today only the log-structured cleaner moves data; every other
+          policy reports 0. *)
+  cs_cleaner_passes : int;
+      (** Number of successful cleaner passes (segments reclaimed). *)
+}
+
+val no_churn : churn_stats
+(** All-zero counters — what policies without internal data movement
+    start from. *)
+
+val write_cost : churn_stats -> float
+(** Write cost per user byte:
+    [(user + moved) / user], the classic LFS cleaner-overhead metric.
+    [1.0] when no user data has been written yet. *)
+
 type t = {
   name : string;
   unit_bytes : int;  (** bytes per disk unit *)
@@ -44,6 +65,10 @@ type t = {
           Cheap — O(distinct sizes) for the list-structured policies,
           O(free extents) for the extent tree — so the telemetry layer
           can sample it every window. *)
+  churn_stats : unit -> churn_stats;
+      (** Cumulative allocator-internal write accounting (user-driven
+          appends vs. data the policy moved on its own), feeding the
+          write-cost-per-byte metric.  Counters survive checkpoints. *)
   ckpt_save : unit -> string;
       (** Opaque serialization of the policy's complete mutable state
           (free structures, per-file extent maps, internal RNG streams),

@@ -39,6 +39,7 @@ type t = {
   region_units : int;
   files : (int, file) Hashtbl.t;
   mutable next_fd_region : int;
+  mutable user_units : int;  (** units handed out for user growth *)
 }
 
 let validate cfg =
@@ -243,6 +244,7 @@ let create cfg ~total_units =
       region_units = cfg.region_bytes / cfg.unit_bytes;
       files = Hashtbl.create 256;
       next_fd_region = 0;
+      user_units = 0;
     }
   in
   seed t;
@@ -311,6 +313,7 @@ let create cfg ~total_units =
         | Some addr ->
             File_extents.push f.fx (Extent.make ~addr ~len:t.sizes.(k));
             f.tier_totals.(k) <- f.tier_totals.(k) + t.sizes.(k);
+            t.user_units <- t.user_units + t.sizes.(k);
             grow ()
       end
     in
@@ -357,18 +360,19 @@ let create cfg ~total_units =
   (* Checkpoint: free sets assign element-wise; the file table is
      lookup-only, so re-adding the marshalled twin's bindings is exact. *)
   let ckpt_save () =
-    Marshal.to_string (t.free, t.free_units, t.files, t.next_fd_region) []
+    Marshal.to_string (t.free, t.free_units, t.files, t.next_fd_region, t.user_units) []
   in
   let ckpt_load blob =
-    let free, free_units, files, next_fd_region =
+    let free, free_units, files, next_fd_region, user_units =
       (Marshal.from_string blob 0
-        : IntSet.t array * int * (int, file) Hashtbl.t * int)
+        : IntSet.t array * int * (int, file) Hashtbl.t * int * int)
     in
     Array.iteri (fun i s -> t.free.(i) <- s) free;
     t.free_units <- free_units;
     Hashtbl.reset t.files;
     Hashtbl.iter (fun k v -> Hashtbl.replace t.files k v) files;
-    t.next_fd_region <- next_fd_region
+    t.next_fd_region <- next_fd_region;
+    t.user_units <- user_units
   in
   {
     Policy.name;
@@ -386,6 +390,7 @@ let create cfg ~total_units =
     free_units = (fun () -> t.free_units);
     largest_free;
     free_hist;
+    churn_stats = (fun () -> { Policy.no_churn with cs_user_units = t.user_units });
     ckpt_save;
     ckpt_load;
   }

@@ -107,6 +107,7 @@ module Log_structured = Rofs_alloc.Log_structured
 
 module File_type = Rofs_workload.File_type
 module Workload = Rofs_workload.Workload
+module Aging = Rofs_workload.Aging
 module Trace = Rofs_workload.Trace
 
 (** {1 Simulation} *)

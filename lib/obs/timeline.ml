@@ -30,6 +30,9 @@ type sample = {
   s_free_units : int;
   s_largest_free : int;
   s_free_hist : (int * int) list;
+  s_user_units : int;
+  s_moved_units : int;
+  s_cleaner_passes : int;
 }
 
 let free_extents_of pairs = List.fold_left (fun acc (_, c) -> acc + c) 0 pairs
@@ -58,6 +61,11 @@ type window = {
   w_largest_free : int;
   w_free_extents : int;
   w_free_sizes : Hist.t;
+  w_user_units : int;  (** units appended for user growth this window *)
+  w_moved_units : int;  (** units the allocator relocated this window *)
+  w_cleaner_passes : int;  (** cleaner passes this window *)
+  w_user_units_total : int;  (** cumulative user units at window close *)
+  w_moved_units_total : int;  (** cumulative moved units at window close *)
 }
 
 type t = {
@@ -132,6 +140,11 @@ let tick t sample =
       w_largest_free = sample.s_largest_free;
       w_free_extents = free_extents_of sample.s_free_hist;
       w_free_sizes = free_sizes_hist sample.s_free_hist;
+      w_user_units = sample.s_user_units - p.s_user_units;
+      w_moved_units = sample.s_moved_units - p.s_moved_units;
+      w_cleaner_passes = sample.s_cleaner_passes - p.s_cleaner_passes;
+      w_user_units_total = sample.s_user_units;
+      w_moved_units_total = sample.s_moved_units;
     }
   in
   t.closed_rev <- w :: t.closed_rev;
@@ -178,6 +191,11 @@ let combine_windows a b =
     w_largest_free = max a.w_largest_free b.w_largest_free;
     w_free_extents = a.w_free_extents + b.w_free_extents;
     w_free_sizes = Hist.merge a.w_free_sizes b.w_free_sizes;
+    w_user_units = a.w_user_units + b.w_user_units;
+    w_moved_units = a.w_moved_units + b.w_moved_units;
+    w_cleaner_passes = a.w_cleaner_passes + b.w_cleaner_passes;
+    w_user_units_total = a.w_user_units_total + b.w_user_units_total;
+    w_moved_units_total = a.w_moved_units_total + b.w_moved_units_total;
   }
 
 (* The stand-in for a window a finished timeline never closed: gauges
@@ -208,6 +226,11 @@ let tail_window t idx =
     w_largest_free = p.s_largest_free;
     w_free_extents = free_extents_of p.s_free_hist;
     w_free_sizes = free_sizes_hist p.s_free_hist;
+    w_user_units = 0;
+    w_moved_units = 0;
+    w_cleaner_passes = 0;
+    w_user_units_total = p.s_user_units;
+    w_moved_units_total = p.s_moved_units;
   }
 
 (* Sum two sorted (size, count) free-space distributions. *)
@@ -240,6 +263,9 @@ let combine_samples a b =
     s_free_units = a.s_free_units + b.s_free_units;
     s_largest_free = max a.s_largest_free b.s_largest_free;
     s_free_hist = merge_free_hists a.s_free_hist b.s_free_hist;
+    s_user_units = a.s_user_units + b.s_user_units;
+    s_moved_units = a.s_moved_units + b.s_moved_units;
+    s_cleaner_passes = a.s_cleaner_passes + b.s_cleaner_passes;
   }
 
 let merge a b =
@@ -327,6 +353,21 @@ let window_json t w =
             ("free_extents", Json.Int w.w_free_extents);
             ("free_size_units", Sink.hist_json w.w_free_sizes);
           ] );
+      ( "churn",
+        Json.Obj
+          [
+            ("user_units", Json.Int w.w_user_units);
+            ("moved_units", Json.Int w.w_moved_units);
+            ("cleaner_passes", Json.Int w.w_cleaner_passes);
+            ("user_units_total", Json.Int w.w_user_units_total);
+            ("moved_units_total", Json.Int w.w_moved_units_total);
+            ( "write_cost",
+              Json.Float
+                (if w.w_user_units_total > 0 then
+                   float_of_int (w.w_user_units_total + w.w_moved_units_total)
+                   /. float_of_int w.w_user_units_total
+                 else 1.) );
+          ] );
       ( "drives",
         Json.Arr
           (Array.to_list
@@ -383,6 +424,10 @@ let csv_header =
       "free_units";
       "largest_free_units";
       "free_extents";
+      "user_units";
+      "moved_units";
+      "cleaner_passes";
+      "write_cost";
       "busy_ms_mean";
       "busy_ms_max";
       "queue_depth_mean";
@@ -428,8 +473,14 @@ let to_csv t =
           float_of_int w.w_used_units /. float_of_int w.w_total_units
         else 0.
       in
+      let write_cost =
+        if w.w_user_units_total > 0 then
+          float_of_int (w.w_user_units_total + w.w_moved_units_total)
+          /. float_of_int w.w_user_units_total
+        else 1.
+      in
       Buffer.add_string buffer
-        (Printf.sprintf "%d,%g,%g,%d,%d,%d,%d,%d,%g,%g,%g,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%g,%d,%d,%d,%g,%g,%g,%d\n"
+        (Printf.sprintf "%d,%g,%g,%d,%d,%d,%d,%d,%g,%g,%g,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%g,%d,%d,%d,%d,%d,%d,%g,%g,%g,%g,%d\n"
            w.w_index
            (float_of_int w.w_index *. t.every_ms)
            (float_of_int (w.w_index + 1) *. t.every_ms)
@@ -439,6 +490,7 @@ let to_csv t =
            w.w_cache_writeback_bytes w.w_cache_prefetched w.w_failed_drives
            w.w_rebuilding_drives w.w_rebuild_ios w.w_data_loss w.w_used_units
            w.w_total_units util w.w_free_units w.w_largest_free w.w_free_extents
+           w.w_user_units w.w_moved_units w.w_cleaner_passes write_cost
            busy_mean busy_max qd_mean qd_max))
     (List.rev t.closed_rev);
   Buffer.contents buffer

@@ -50,6 +50,13 @@ type sample = {
   s_largest_free : int;
   s_free_hist : (int * int) list;
       (** free-space size distribution, [(size_units, count)] ascending *)
+  s_user_units : int;
+      (** cumulative units allocated on behalf of user writes
+          ({!Rofs_alloc.Policy.churn_stats}) *)
+  s_moved_units : int;
+      (** cumulative units relocated by allocator-internal data
+          movement (LFS cleaner; 0 for update-in-place allocators) *)
+  s_cleaner_passes : int;  (** cumulative successful cleaner passes *)
 }
 (** One observation of the engine: cumulative counters since engine
     creation plus instantaneous gauges.  The fields marked cumulative

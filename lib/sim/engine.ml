@@ -13,6 +13,7 @@ module Timeline = Rofs_obs.Timeline
 module Cache = Rofs_cache.Cache
 module File_type = Rofs_workload.File_type
 module Workload = Rofs_workload.Workload
+module Aging_driver = Rofs_workload.Aging
 
 type config = {
   seed : int;
@@ -33,6 +34,9 @@ type config = {
   faults : Fault_plan.config;
   cache : Cache.config option;
   shard_slices : int;
+  age_ms : float;
+  age_occupancy : float;
+  age_think_scale : float;
 }
 
 let default_config =
@@ -55,6 +59,9 @@ let default_config =
     faults = Fault_plan.none;
     cache = None;
     shard_slices = 4;
+    age_ms = 0.;
+    age_occupancy = 0.90;
+    age_think_scale = 1.;
   }
 
 let validate_config ?shards cfg =
@@ -78,6 +85,14 @@ let validate_config ?shards cfg =
   if cfg.max_alloc_ops <= 0 then fail "max_alloc_ops must be positive";
   if cfg.readahead_factor < 1 then fail "readahead_factor must be >= 1";
   if cfg.warmup_checkpoints < 0 then fail "warmup_checkpoints must be >= 0";
+  if not (Float.is_finite cfg.age_ms) || cfg.age_ms < 0. then
+    fail "age_ms must be a finite number of ms >= 0";
+  if not (Float.is_finite cfg.age_occupancy)
+     || cfg.age_occupancy <= 0.
+     || cfg.age_occupancy >= 1.
+  then fail "age_occupancy must lie strictly between 0 and 1";
+  if not (Float.is_finite cfg.age_think_scale) || cfg.age_think_scale < 1. then
+    fail "age_think_scale must be >= 1";
   Option.iter Cache.validate cfg.cache;
   Fault_plan.validate cfg.faults
 
@@ -187,6 +202,10 @@ type mode =
           allocation test runs ungoverned until it fails *)
   | Full_mix  (** the application-performance test *)
   | Whole_file_rw  (** the sequential-performance test *)
+  | Aging
+      (** fast-forward churn: allocator-only ops (no disk events) driven
+          by the bang-bang occupancy controller in {!Rofs_workload.Aging},
+          with think times stretched by [age_think_scale] *)
 
 (* ------------------------------------------------------------------ *)
 (* Trace recording and replay surface                                  *)
@@ -314,8 +333,8 @@ type t = {
           the sink, never changes simulated results *)
   mutable replay : replay_session option;
       (** the active replay session on a [create_replay] engine *)
-  (* Checkpointing.  [phase] reifies the fill -> application ->
-     sequential protocol (0 / 1 / 2; 3 = done) so a restored engine
+  (* Checkpointing.  [phase] reifies the fill -> aging -> application ->
+     sequential protocol (0 / 1 / 2 / 3; 4 = done) so a restored engine
      knows which runner to re-enter; [resuming] makes the next phase
      entry continue from the restored [fill_st] / [meas_st] instead of
      reinitialising.  [ckpt_next] is the absolute time of the next
@@ -325,6 +344,9 @@ type t = {
   meas_st : meas_state;
   mutable phase : int;
   mutable resuming : bool;
+  mutable age_until : float;
+      (** absolute end time of the aging churn phase; restored from the
+          snapshot so a resumed aged run stops at the original horizon *)
   mutable app_report : throughput_report option;
   mutable seq_report : throughput_report option;
   mutable ckpt_every_ms : float;  (** <= 0 means disarmed *)
@@ -485,6 +507,7 @@ let timeline_sample t =
   let p = Volume.policy t.volume in
   let total = p.Rofs_alloc.Policy.total_units in
   let free = p.Rofs_alloc.Policy.free_units () in
+  let cs = p.Rofs_alloc.Policy.churn_stats () in
   {
     Timeline.s_io_ops = t.io_ops;
     s_alloc_ops = t.alloc_ops;
@@ -506,6 +529,9 @@ let timeline_sample t =
     s_free_units = free;
     s_largest_free = p.Rofs_alloc.Policy.largest_free ();
     s_free_hist = p.Rofs_alloc.Policy.free_hist ();
+    s_user_units = cs.Rofs_alloc.Policy.cs_user_units;
+    s_moved_units = cs.Rofs_alloc.Policy.cs_moved_units;
+    s_cleaner_passes = cs.Rofs_alloc.Policy.cs_cleaner_passes;
   }
 
 (* Arm windowed telemetry: every [every_ms] of simulated time a
@@ -718,6 +744,7 @@ let make cfg ~policy ~workload ~with_users =
         };
       phase = 0;
       resuming = false;
+      age_until = 0.;
       app_report = None;
       seq_report = None;
       ckpt_every_ms = 0.;
@@ -1179,6 +1206,20 @@ let perform t ~mode user =
       | File_type.Truncate -> do_truncate t user
       | File_type.Delete -> do_delete t user
     end
+  | Aging -> begin
+      (* Bang-bang occupancy control: below the target every user grows;
+         at or above it users deallocate, splitting delete vs. truncate
+         by their file type's [delete_pct_of_deallocs].  Pure allocator
+         bookkeeping — no disk events — so weeks of churn run at wall
+         speed. *)
+      match
+        Aging_driver.pick ~utilization:(Volume.utilization t.volume)
+          ~target:t.cfg.age_occupancy user.rng user.ft
+      with
+      | Aging_driver.Grow -> do_extend t user ~with_io:false
+      | Aging_driver.Truncate -> do_truncate t user
+      | Aging_driver.Delete -> do_delete t user
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Fault and rebuild events                                            *)
@@ -1259,8 +1300,14 @@ let observe_queued_completion t op ~id ~finished =
           }
 
 let run_events t ~mode ~stop =
+  (* Aging stretches think times so a simulated month stays tractable;
+     [*. 1.] is exact, so every other mode's draws are bit-identical to
+     the pre-aging engine. *)
+  let think_scale = match mode with Aging -> t.cfg.age_think_scale | _ -> 1. in
   let wake_after t (user : user) ~completion =
-    let think = Dist.exponential user.rng ~mean:user.ft.File_type.process_time_ms in
+    let think =
+      Dist.exponential user.rng ~mean:(user.ft.File_type.process_time_ms *. think_scale)
+    in
     Heap.push t.heap ~prio:(completion +. think) user.wake_ev
   in
   let rec loop () =
@@ -1453,6 +1500,30 @@ let fill_to_lower_bound t =
     t.phase <- 1
   end
 
+(* Fast-forward aging between the fill and the measured phases: churn
+   the volume with [Aging]-mode events for [age_ms] of simulated time.
+   The user wakes seeded by the fill keep ticking, so [Ckpt_tick] /
+   [Stat_tick] chains interleave with the churn exactly as in any other
+   phase — cadences landing inside the jump fire on schedule rather
+   than being skipped, month-long runs checkpoint and resume
+   bit-identically, and timelines keep their absolute-time alignment.
+   With aging off this only advances the phase number: no events, no
+   RNG draws, no [seed_events] — frozen goldens stay byte-identical. *)
+let run_aging t =
+  if t.resuming && t.phase >= 2 then ()  (* the snapshot was taken past the aging *)
+  else if t.cfg.age_ms <= 0. then t.phase <- 2
+  else begin
+    if t.resuming then t.resuming <- false  (* continue to the restored horizon *)
+    else begin
+      t.phase <- 1;
+      t.age_until <- t.now +. t.cfg.age_ms
+    end;
+    let stop ~failed:_ = t.now >= t.age_until in
+    run_events t ~mode:Aging ~stop;
+    seed_events t;
+    t.phase <- 2
+  end
+
 (* Bytes transferred by time [upto]: fully finished I/Os are folded into
    [bytes_completed]; I/Os still in service are credited linearly over
    their service interval, so long whole-file transfers contribute to the
@@ -1581,31 +1652,31 @@ let run_measured t ~mode =
   }
 
 let run_application_test t =
-  if t.resuming && t.phase >= 2 then
+  if t.resuming && t.phase >= 3 then
     match t.app_report with
     | Some r -> r
     | None -> invalid_arg "Engine: snapshot is past the application test but has no report"
   else begin
-    t.phase <- 1;
+    t.phase <- 2;
     let r = run_measured t ~mode:Full_mix in
     t.app_report <- Some r;
-    t.phase <- 2;
+    t.phase <- 3;
     r
   end
 
 let run_sequential_test t =
-  if t.resuming && t.phase >= 3 then begin
+  if t.resuming && t.phase >= 4 then begin
     t.resuming <- false;
     match t.seq_report with
     | Some r -> r
     | None -> invalid_arg "Engine: snapshot is past the sequential test but has no report"
   end
   else begin
-    t.phase <- 2;
+    t.phase <- 3;
     if not t.resuming then seed_events t;
     let r = run_measured t ~mode:Whole_file_rw in
     t.seq_report <- Some r;
-    t.phase <- 3;
+    t.phase <- 4;
     r
   end
 
@@ -1637,6 +1708,7 @@ type engine_ckpt = {
       (** disk_fulls, io_ops, alloc_ops, bytes_completed, meta_bytes,
           rebuild_ios, data_loss *)
   ck_phase : int;
+  ck_age_until : float;
   ck_fill : int * int * int;
   ck_meas : float * int * int * int * float * int;
   ck_series : Stats.Series.t;
@@ -1720,6 +1792,7 @@ let fingerprint t =
               c.warmup_checkpoints,
               c.metadata_io,
               c.shard_slices ),
+            (c.age_ms, c.age_occupancy, c.age_think_scale),
             (c.faults, c.cache),
             ( p.Rofs_alloc.Policy.name,
               p.Rofs_alloc.Policy.unit_bytes,
@@ -1764,6 +1837,7 @@ let checkpoint t =
           t.rebuild_ios,
           t.data_loss );
       ck_phase = t.phase;
+      ck_age_until = t.age_until;
       ck_fill = (t.fill_st.fs_ops_at_start, t.fill_st.fs_best_used, t.fill_st.fs_fails);
       ck_meas =
         ( ms.ms_start,
@@ -1871,6 +1945,7 @@ let restore t sections =
   t.rebuild_ios <- rebuild_ios;
   t.data_loss <- data_loss;
   t.phase <- ck.ck_phase;
+  t.age_until <- ck.ck_age_until;
   let fs_ops_at_start, fs_best_used, fs_fails = ck.ck_fill in
   t.fill_st.fs_ops_at_start <- fs_ops_at_start;
   t.fill_st.fs_best_used <- fs_best_used;
@@ -1962,6 +2037,9 @@ let fault_report t =
     rebuild_ios = t.rebuild_ios;
   }
 
+(* Allocator-internal write accounting, straight from the policy. *)
+let churn_stats t = (Volume.policy t.volume).Rofs_alloc.Policy.churn_stats ()
+
 (* ------------------------------------------------------------------ *)
 (* Sharded intra-run parallelism                                       *)
 
@@ -1970,6 +2048,7 @@ type sharded_report = {
   s_sequential : throughput_report;
   s_cache : cache_report option;
   s_fault : fault_report;
+  s_churn : Rofs_alloc.Policy.churn_stats;
   s_sink : Sink.t option;
   s_timeline : Timeline.t option;
   s_slices : int;
@@ -1982,6 +2061,7 @@ type slice_result = {
   sl_seq : throughput_report;
   sl_cache : cache_report option;
   sl_fault : fault_report;
+  sl_churn : Rofs_alloc.Policy.churn_stats;
   sl_sink : Sink.t option;
   sl_timeline : Timeline.t option;
   sl_max_bw : float;
@@ -2121,6 +2201,21 @@ let merge_fault results =
     rebuild_ios = sum (fun f -> f.rebuild_ios);
   }
 
+(* Churn counters are plain integers: sum in slice order. *)
+let merge_churn results =
+  Array.fold_left
+    (fun acc sl ->
+      {
+        Rofs_alloc.Policy.cs_user_units =
+          acc.Rofs_alloc.Policy.cs_user_units + sl.sl_churn.Rofs_alloc.Policy.cs_user_units;
+        cs_moved_units =
+          acc.Rofs_alloc.Policy.cs_moved_units + sl.sl_churn.Rofs_alloc.Policy.cs_moved_units;
+        cs_cleaner_passes =
+          acc.Rofs_alloc.Policy.cs_cleaner_passes
+          + sl.sl_churn.Rofs_alloc.Policy.cs_cleaner_passes;
+      })
+    Rofs_alloc.Policy.no_churn results
+
 let merge_slice_sinks results =
   let acc = ref None in
   Array.iter
@@ -2185,6 +2280,7 @@ let run_sharded ?(shards = 1) ?(instrument = false) ?(trace = false) ?timeline_e
         | None -> ())
     | None -> ());
     fill_to_lower_bound engine;
+    run_aging engine;
     let app = run_application_test engine in
     let seq = run_sequential_test engine in
     (* Final snapshot: a slice that already finished resumes instantly
@@ -2195,6 +2291,7 @@ let run_sharded ?(shards = 1) ?(instrument = false) ?(trace = false) ?timeline_e
       sl_seq = seq;
       sl_cache = cache_report engine;
       sl_fault = fault_report engine;
+      sl_churn = churn_stats engine;
       sl_sink = sink;
       sl_timeline = engine.timeline;
       sl_max_bw = max_bandwidth_pct_base engine;
@@ -2214,6 +2311,7 @@ let run_sharded ?(shards = 1) ?(instrument = false) ?(trace = false) ?timeline_e
       s_sequential = results.(0).sl_seq;
       s_cache = results.(0).sl_cache;
       s_fault = results.(0).sl_fault;
+      s_churn = results.(0).sl_churn;
       s_sink;
       s_timeline;
       s_slices = 1;
@@ -2225,6 +2323,7 @@ let run_sharded ?(shards = 1) ?(instrument = false) ?(trace = false) ?timeline_e
       s_sequential = merge_throughput (fun sl -> sl.sl_seq) results;
       s_cache = merge_cache results;
       s_fault = merge_fault results;
+      s_churn = merge_churn results;
       s_sink;
       s_timeline;
       s_slices = slices;

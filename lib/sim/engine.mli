@@ -90,6 +90,26 @@ type config = {
           shard count.  Ignored by the serial entry points ({!create},
           {!run_application_test}, ...), which always simulate the whole
           configured system. *)
+  age_ms : float;
+      (** fast-forward aging: simulated milliseconds of create / grow /
+          delete churn run between the fill phase and the application
+          test, fragmenting the free list the way weeks of production
+          churn would.  Aging epochs are allocator-only (no per-op disk
+          events), so simulating a month costs minutes.  0 (the
+          default) disables the phase entirely and keeps every code
+          path byte-identical to an engine without it — the frozen
+          goldens pin this. *)
+  age_occupancy : float;
+      (** target volume occupancy the aging churn oscillates around
+          (fraction in (0, 1), default 0.90): below it users grow
+          files, at or above it they delete / truncate per their file
+          type's [delete_pct_of_deallocs] (see {!Rofs_workload.Aging}). *)
+  age_think_scale : float;
+      (** divisor-free multiplier (>= 1, default 1) applied to think
+          times during aging only, letting one simulated aging hour
+          stand for [age_think_scale] hours of real churn without
+          changing the per-op RNG stream shape.  1 is IEEE-exact
+          ([x *. 1. = x]), so non-aging runs are unaffected. *)
 }
 
 val default_config : config
@@ -285,8 +305,23 @@ val max_bandwidth_pct_base : t -> float
 
 val run_allocation_test : t -> alloc_report
 val fill_to_lower_bound : t -> unit
+
+val run_aging : t -> unit
+(** Fast-forward aging phase: [config.age_ms] of allocator-only churn
+    driven by {!Rofs_workload.Aging.pick} between
+    {!fill_to_lower_bound} and {!run_application_test}.  A no-op
+    (beyond advancing the phase counter) when [age_ms = 0].  The churn
+    runs through the normal event heap, so armed checkpoint / timeline
+    cadences keep firing inside the jump and a mid-aging snapshot
+    resumes bit-identically. *)
+
 val run_application_test : t -> throughput_report
 val run_sequential_test : t -> throughput_report
+
+val churn_stats : t -> Rofs_alloc.Policy.churn_stats
+(** Allocator-internal data-movement accounting so far (user units
+    written, units relocated by the LFS cleaner, cleaner passes) —
+    feeds the write-cost-per-user-byte metric. *)
 
 (** {1 Checkpoint / restore}
 
@@ -369,6 +404,9 @@ type sharded_report = {
   s_fault : fault_report;
       (** summed fault counters; [drive_states] concatenates the slices'
           drives in slice order *)
+  s_churn : Rofs_alloc.Policy.churn_stats;
+      (** summed allocator churn counters (user units, cleaner-moved
+          units, cleaner passes) across the slices *)
   s_sink : Rofs_obs.Sink.t option;
       (** per-slice sinks folded with [Sink.merge] in slice order; [None]
           unless [instrument] *)

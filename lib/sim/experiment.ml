@@ -46,6 +46,7 @@ let run_allocation ?config spec workload =
 let run_throughput ?config spec workload =
   let engine = make_engine ?config spec workload in
   Engine.fill_to_lower_bound engine;
+  Engine.run_aging engine;
   let application = Engine.run_application_test engine in
   let sequential = Engine.run_sequential_test engine in
   (application, sequential)
@@ -77,6 +78,7 @@ let run_throughput_obs ?config ?(trace = false) ?trace_capacity spec workload =
   let sink = Rofs_obs.Sink.create ~trace ?trace_capacity () in
   Engine.attach_obs engine sink;
   Engine.fill_to_lower_bound engine;
+  Engine.run_aging engine;
   let o_application = Engine.run_application_test engine in
   let o_sequential = Engine.run_sequential_test engine in
   { o_application; o_sequential; o_sink = sink; o_drives = Engine.drive_reports engine }

@@ -40,10 +40,17 @@ let pp_cache ppf (r : Engine.cache_report) =
     r.Engine.cr_evictions r.Engine.cr_dirty_evictions r.Engine.cr_flushes
     (Format.asprintf "%a" Rofs_util.Units.pp_bytes r.Engine.cr_writeback_bytes)
 
+let pp_churn ppf (c : Rofs_alloc.Policy.churn_stats) =
+  Format.fprintf ppf "write cost %.3fx (%d user units, %d cleaner-moved, %d passes)"
+    (Rofs_alloc.Policy.write_cost c)
+    c.Rofs_alloc.Policy.cs_user_units c.Rofs_alloc.Policy.cs_moved_units
+    c.Rofs_alloc.Policy.cs_cleaner_passes
+
 let alloc_to_string r = Format.asprintf "%a" pp_alloc r
 let throughput_to_string r = Format.asprintf "%a" pp_throughput r
 let fault_to_string r = Format.asprintf "%a" pp_fault r
 let cache_to_string r = Format.asprintf "%a" pp_cache r
+let churn_to_string c = Format.asprintf "%a" pp_churn c
 
 let drive_to_string (d : Engine.drive_report) =
   Printf.sprintf "util %5.1f%%, queue %.1f mean / %d max, %d reqs, %d seeks, %s"
@@ -51,13 +58,15 @@ let drive_to_string (d : Engine.drive_report) =
     d.Engine.dr_queue_mean d.Engine.dr_queue_max d.Engine.dr_requests d.Engine.dr_seeks
     (Format.asprintf "%a" Rofs_util.Units.pp_bytes d.Engine.dr_bytes)
 
-let summary ?faults ?cache ?drives ~workload ~policy ~alloc ~application ~sequential () =
+let summary ?faults ?cache ?drives ?churn ~workload ~policy ~alloc ~application ~sequential ()
+    =
   let buffer = Buffer.create 128 in
   Buffer.add_string buffer (Printf.sprintf "%s on %s\n" policy workload);
   let line label value = Buffer.add_string buffer (Printf.sprintf "  %-12s %s\n" label value) in
   Option.iter (fun r -> line "allocation" (alloc_to_string r)) alloc;
   Option.iter (fun r -> line "application" (throughput_to_string r)) application;
   Option.iter (fun r -> line "sequential" (throughput_to_string r)) sequential;
+  Option.iter (fun c -> line "churn" (churn_to_string c)) churn;
   Option.iter (fun r -> line "cache" (cache_to_string r)) cache;
   Option.iter (fun r -> line "faults" (fault_to_string r)) faults;
   Option.iter
@@ -175,8 +184,17 @@ let drive_json (d : Engine.drive_report) =
       ("queue_depth_max", Json.Int d.Engine.dr_queue_max);
     ]
 
-let to_json ?alloc ?application ?sequential ?faults ?cache ?drives ?metrics ~workload ~policy
-    () =
+let churn_json (c : Rofs_alloc.Policy.churn_stats) =
+  Json.Obj
+    [
+      ("user_units", Json.Int c.Rofs_alloc.Policy.cs_user_units);
+      ("moved_units", Json.Int c.Rofs_alloc.Policy.cs_moved_units);
+      ("cleaner_passes", Json.Int c.Rofs_alloc.Policy.cs_cleaner_passes);
+      ("write_cost", Json.Float (Rofs_alloc.Policy.write_cost c));
+    ]
+
+let to_json ?alloc ?application ?sequential ?faults ?cache ?drives ?metrics ?churn ~workload
+    ~policy () =
   let opt name enc v = Option.to_list (Option.map (fun x -> (name, enc x)) v) in
   Json.Obj
     ([ ("schema", Json.Str "rofs-report-v1"); ("policy", Json.Str policy);
@@ -184,6 +202,7 @@ let to_json ?alloc ?application ?sequential ?faults ?cache ?drives ?metrics ~wor
     @ opt "allocation" alloc_json alloc
     @ opt "application" throughput_json application
     @ opt "sequential" throughput_json sequential
+    @ opt "churn" churn_json churn
     @ opt "cache" cache_json cache
     @ opt "faults" fault_json faults
     @ opt "drives"

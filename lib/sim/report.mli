@@ -19,10 +19,14 @@ val pp_fault : Format.formatter -> Engine.fault_report -> unit
 val pp_cache : Format.formatter -> Engine.cache_report -> unit
 (** e.g. ["lru/back, 1024 x 8K pages: 912/1350 hits (67.6%), ..."]. *)
 
+val pp_churn : Format.formatter -> Rofs_alloc.Policy.churn_stats -> unit
+(** e.g. ["write cost 1.312x (48210 user units, 15037 cleaner-moved, 112 passes)"]. *)
+
 val alloc_to_string : Engine.alloc_report -> string
 val throughput_to_string : Engine.throughput_report -> string
 val fault_to_string : Engine.fault_report -> string
 val cache_to_string : Engine.cache_report -> string
+val churn_to_string : Rofs_alloc.Policy.churn_stats -> string
 
 val drive_to_string : Engine.drive_report -> string
 (** e.g. ["util  43.2%, queue 1.3 mean / 4 max, 1234 reqs, 87 seeks, 12 M"]. *)
@@ -31,6 +35,7 @@ val summary :
   ?faults:Engine.fault_report ->
   ?cache:Engine.cache_report ->
   ?drives:Engine.drive_report array ->
+  ?churn:Rofs_alloc.Policy.churn_stats ->
   workload:string -> policy:string ->
   alloc:Engine.alloc_report option ->
   application:Engine.throughput_report option ->
@@ -44,6 +49,7 @@ val throughput_json : Engine.throughput_report -> Rofs_obs.Json.t
 val cache_json : Engine.cache_report -> Rofs_obs.Json.t
 val fault_json : Engine.fault_report -> Rofs_obs.Json.t
 val drive_json : Engine.drive_report -> Rofs_obs.Json.t
+val churn_json : Rofs_alloc.Policy.churn_stats -> Rofs_obs.Json.t
 (** The per-report JSON encoders behind {!to_json}, exposed so other
     document schemas (the trace-replay report) can embed the same
     members byte-compatibly. *)
@@ -56,10 +62,12 @@ val to_json :
   ?cache:Engine.cache_report ->
   ?drives:Engine.drive_report array ->
   ?metrics:Rofs_obs.Sink.t ->
+  ?churn:Rofs_alloc.Policy.churn_stats ->
   workload:string -> policy:string ->
   unit ->
   Rofs_obs.Json.t
 (** The machine-readable counterpart of {!summary}: a
     ["rofs-report-v1"] document with one member per supplied report
-    ([allocation] / [application] / [sequential] / [cache] / [faults] /
-    [drives]) plus the sink's latency histograms under [metrics]. *)
+    ([allocation] / [application] / [sequential] / [churn] / [cache] /
+    [faults] / [drives]) plus the sink's latency histograms under
+    [metrics]. *)

@@ -1,0 +1,12 @@
+type op = Grow | Truncate | Delete
+
+let pick ~utilization ~target rng (ft : File_type.t) =
+  if utilization < target then Grow
+  else if Rofs_util.Rng.int rng 100 < ft.File_type.delete_pct_of_deallocs then Delete
+  else Truncate
+
+let validate ~age_ms ~occupancy =
+  if not (Float.is_finite age_ms) || age_ms < 0. then
+    invalid_arg "Aging: age duration must be a finite number of ms >= 0";
+  if not (Float.is_finite occupancy) || occupancy <= 0. || occupancy >= 1. then
+    invalid_arg "Aging: target occupancy must be strictly between 0 and 100%"

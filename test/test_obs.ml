@@ -383,7 +383,7 @@ let test_sink_merge_empty_cases () =
 
 let sample ?(io = 0) ?(alloc = 0) ?(bytes = 0) ?(lookups = 0) ?(hits = 0) ?(busy = [||])
     ?(qd = [||]) ?(used = 0) ?(total = 0) ?(free = 0) ?(largest = 0) ?(fh = [])
-    ?(failed = 0) () =
+    ?(failed = 0) ?(user = 0) ?(moved = 0) ?(passes = 0) () =
   {
     Timeline.s_io_ops = io;
     s_alloc_ops = alloc;
@@ -405,6 +405,9 @@ let sample ?(io = 0) ?(alloc = 0) ?(bytes = 0) ?(lookups = 0) ?(hits = 0) ?(busy
     s_free_units = free;
     s_largest_free = largest;
     s_free_hist = fh;
+    s_user_units = user;
+    s_moved_units = moved;
+    s_cleaner_passes = passes;
   }
 
 let window i tl =
@@ -688,7 +691,7 @@ let test_sweep_merge_job_invariant () =
 (* The acceptance contract, frozen: one sharded run's merged timeline is
    byte-identical (JSON and CSV) at every --shards width, and its digest
    matches the golden below. *)
-let timeline_digest_golden = "4a3890d4e5e107285504259932d5b174"
+let timeline_digest_golden = "cba4945fd6db7ba9dc08bda332448888"
 
 let timeline_config = { (engine_config ~scheduler:Policy.Fcfs) with Engine.max_measure_ms = 10_000. }
 
